@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark follows the same pattern: build a scenario, run it once
+inside ``benchmark.pedantic`` (the simulations are deterministic, so one
+round is the measurement), then print a paper-vs-measured table and assert
+the qualitative shape the paper claims.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag shows the result tables; EXPERIMENTS.md quotes them.
+"""
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,87 @@
+"""Experiments E4 and E5 (Sections IV-C, IV-D): attacker-side resources.
+
+Paper claim: if a provider may send R2 filtering requests per second to a
+client, the provider needs na = R2 * T filters to enforce them, and the
+client needs the same na = R2 * T filters to honour them (worked example:
+R2 = 1/s, T = 1 min  =>  60 filters each).
+
+The benchmark streams requests toward one client at rate R2 and samples both
+the attacker's gateway's wire-speed table and the attacker host's own
+outbound filter table.
+"""
+
+import pytest
+
+from repro.analysis.formulas import attacker_side_filters
+from repro.analysis.report import ResultTable
+from repro.scenarios.resources import AttackerGatewayResourceScenario
+
+from benchmarks.conftest import run_once
+
+FILTER_TIMEOUT = 20.0
+
+
+def run_attacker_side_sweep(request_rates=(1.0, 2.0, 4.0)):
+    rows = []
+    for rate in request_rates:
+        scenario = AttackerGatewayResourceScenario(
+            request_rate=rate, filter_timeout=FILTER_TIMEOUT)
+        # Run past T so the filter population reaches its steady state R2*T.
+        result = scenario.run(duration=FILTER_TIMEOUT + 5.0)
+        rows.append((rate, result))
+    return rows
+
+
+@pytest.mark.benchmark(group="E4-E5-attacker-side-resources")
+def test_bench_attacker_gateway_and_host_filters_track_r2_t(benchmark):
+    rows = run_once(benchmark, run_attacker_side_sweep)
+    table = ResultTable(
+        "E4/E5: attacker-side filters, na = R2*T  (T = 20 s)",
+        ["R2 (req/s)", "paper na=R2*T", "gateway peak filters",
+         "attacker-host peak filters", "requests honoured"],
+    )
+    for rate, result in rows:
+        table.add_row(
+            f"{rate:.0f}",
+            attacker_side_filters(rate, FILTER_TIMEOUT),
+            int(result.gateway_peak_filter_occupancy),
+            int(result.attacker_host_peak_filter_occupancy),
+            result.requests_delivered,
+        )
+    table.add_note("paper example: R2=1/s, T=60s -> na=60 filters at provider and client")
+    table.print()
+
+    for rate, result in rows:
+        predicted = attacker_side_filters(rate, FILTER_TIMEOUT)
+        # Steady-state occupancy approaches R2*T at both the gateway (E4) and
+        # the attacker host (E5), and never exceeds it.
+        assert result.gateway_peak_filter_occupancy <= predicted + 1
+        assert result.gateway_peak_filter_occupancy >= 0.7 * predicted
+        assert result.attacker_host_peak_filter_occupancy <= predicted + 1
+        assert result.attacker_host_peak_filter_occupancy >= 0.7 * predicted
+    # Linear scaling in R2.
+    assert rows[-1][1].gateway_peak_filter_occupancy > \
+        2.5 * rows[0][1].gateway_peak_filter_occupancy
+
+
+@pytest.mark.benchmark(group="E4-E5-attacker-side-resources")
+def test_bench_attacker_side_filters_bounded_regardless_of_attack_width(benchmark):
+    """The provider's exposure is bounded by its own contract (R2*T), not by
+    how many flows the attacker tries to start."""
+    def run():
+        scenario = AttackerGatewayResourceScenario(request_rate=2.0,
+                                                   filter_timeout=FILTER_TIMEOUT)
+        return scenario.run(duration=FILTER_TIMEOUT * 2)
+
+    result = run_once(benchmark, run)
+    predicted = attacker_side_filters(2.0, FILTER_TIMEOUT)
+    table = ResultTable(
+        "E4b: filters stay bounded over 2T of sustained requests",
+        ["duration", "paper na", "gateway peak", "host peak"],
+    )
+    table.add_row(f"{FILTER_TIMEOUT * 2:.0f} s", predicted,
+                  int(result.gateway_peak_filter_occupancy),
+                  int(result.attacker_host_peak_filter_occupancy))
+    table.print()
+    assert result.gateway_peak_filter_occupancy <= predicted + 1
+    assert result.attacker_host_peak_filter_occupancy <= predicted + 1

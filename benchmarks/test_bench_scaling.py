@@ -1,0 +1,118 @@
+"""Experiment E10 (Section III-C): AITF scales with Internet size.
+
+Paper claim: AITF pushes filtering of undesired traffic to the leaves of the
+Internet — the providers of the attackers — so a provider's filtering load
+grows with the number of its own (misbehaving) clients, not with the size of
+the Internet, and core networks stay out of the filtering path.
+
+The benchmark builds power-law AS internets of increasing size with a fixed
+fraction of zombie hosts, runs simultaneous floods against a handful of
+victims, and measures where the full-duration (attacker-side) filters ended
+up: leaf ASes versus core ASes, and per-AS load versus per-AS zombie count.
+"""
+
+import pytest
+
+from repro.analysis.report import ResultTable
+from repro.attacks.flood import FloodAttack
+from repro.core.config import AITFConfig
+from repro.core.deployment import deploy_aitf
+from repro.core.detection import ExplicitDetector
+from repro.core.events import EventType
+from repro.sim.randomness import SeededRandom
+from repro.topology.powerlaw import build_powerlaw_internet
+
+from benchmarks.conftest import run_once
+
+ZOMBIE_FRACTION = 0.3
+VICTIMS = 3
+
+
+def run_internet(autonomous_systems: int, seed: int = 11):
+    internet = build_powerlaw_internet(autonomous_systems=autonomous_systems,
+                                       hosts_per_leaf=2, seed=seed)
+    config = AITFConfig(filter_timeout=30.0, temporary_filter_timeout=0.6)
+    deployment = deploy_aitf(internet.all_nodes(), config)
+    rng = SeededRandom(seed, name="scaling")
+
+    hosts = list(internet.hosts)
+    rng.shuffle(hosts)
+    victims = hosts[:VICTIMS]
+    candidates = [h for h in hosts[VICTIMS:]]
+    zombie_count = max(3, int(len(hosts) * ZOMBIE_FRACTION))
+    zombies = candidates[:zombie_count]
+
+    attacks = []
+    for index, zombie in enumerate(zombies):
+        victim = victims[index % len(victims)]
+        attack = FloodAttack(zombie, victim.address, rate_pps=120.0,
+                             start_time=0.1 + 0.01 * index)
+        deployment.host_agent(zombie.name).on_stop_request(attack.stop_flow_callback)
+        attacks.append(attack)
+        attack.start()
+    for victim in victims:
+        detector = ExplicitDetector(deployment.host_agent(victim.name),
+                                    detection_delay=0.05)
+        for zombie in zombies:
+            detector.mark_undesired(zombie.address)
+
+    internet.sim.run(until=6.0)
+
+    leaf_names = {router.name for router in internet.leaf_routers}
+    core_names = {router.name for router in internet.core_routers}
+    filter_events = deployment.event_log.of_type(EventType.FILTER_INSTALLED)
+    leaf_filters = sum(1 for e in filter_events if e.node in leaf_names)
+    core_filters = sum(1 for e in filter_events if e.node in core_names)
+
+    # Per-AS filtering load vs per-AS zombie population.
+    zombies_per_as = {}
+    for zombie in zombies:
+        zombies_per_as[zombie.network] = zombies_per_as.get(zombie.network, 0) + 1
+    filters_per_as = {}
+    for event in filter_events:
+        router = deployment.directory.get(event.node)
+        filters_per_as[router.network] = filters_per_as.get(router.network, 0) + 1
+    max_load = max(filters_per_as.values()) if filters_per_as else 0
+    max_zombies_in_one_as = max(zombies_per_as.values()) if zombies_per_as else 0
+
+    return {
+        "ases": autonomous_systems,
+        "hosts": len(hosts),
+        "zombies": len(zombies),
+        "leaf_filters": leaf_filters,
+        "core_filters": core_filters,
+        "max_filters_per_as": max_load,
+        "max_zombies_per_as": max_zombies_in_one_as,
+    }
+
+
+@pytest.mark.benchmark(group="E10-scaling")
+def test_bench_filtering_concentrates_at_the_leaves(benchmark):
+    def run_sweep():
+        return [run_internet(size) for size in (30, 60, 90)]
+
+    rows = run_once(benchmark, run_sweep)
+    table = ResultTable(
+        "E10: where attacker-side filters land as the internet grows "
+        f"({int(ZOMBIE_FRACTION * 100)}% of hosts are zombies)",
+        ["ASes", "hosts", "zombies", "filters at leaf ASes", "filters at core ASes",
+         "max filters in one AS", "max zombies in one AS"],
+    )
+    for row in rows:
+        table.add_row(row["ases"], row["hosts"], row["zombies"], row["leaf_filters"],
+                      row["core_filters"], row["max_filters_per_as"],
+                      row["max_zombies_per_as"])
+    table.add_note("the per-AS load tracks that AS's own zombies, not internet size "
+                   "(Section III-C)")
+    table.print()
+
+    for row in rows:
+        # Filtering lands overwhelmingly on the zombies' own (leaf) providers.
+        assert row["leaf_filters"] >= row["zombies"] * 0.8
+        assert row["core_filters"] <= 0.2 * max(1, row["leaf_filters"])
+        # No AS carries more filters than a small multiple of its own zombies.
+        assert row["max_filters_per_as"] <= row["max_zombies_per_as"] + 2
+    # Growing the internet does not grow the worst per-AS load in step: the
+    # biggest AS burden stays within a small constant range across sizes.
+    loads = [row["max_filters_per_as"] for row in rows]
+    assert max(loads) <= min(loads) + 3

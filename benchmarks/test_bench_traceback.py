@@ -1,0 +1,113 @@
+"""Experiment E12 (Section IV-B): traceback's contribution to Ttmp.
+
+Paper claim: Ttmp must be "large enough to allow the traceback from the
+victim's gateway to the attacker's gateway plus the 3-way handshake", and
+with a route-record architecture like TRIAD "traceback time is 0", leaving
+only the ~600 ms handshake — which is how the paper arrives at nv = 60
+filters for 6000 flows.
+
+The benchmark compares the two traceback substrates implemented here:
+
+* the route-record shim (path known from the first packet), and
+* probabilistic edge marking (path reconstructed from many marked samples),
+
+reporting how many attack packets — and therefore how much time at a given
+attack rate — each needs before the attacker's gateway can even be
+identified, and what that does to the Ttmp a provider must provision for.
+"""
+
+import pytest
+
+from repro.analysis.formulas import victim_gateway_filters
+from repro.analysis.report import ResultTable, format_seconds
+from repro.net.packet import Packet
+from repro.sim.randomness import SeededRandom
+from repro.topology.figure1 import build_figure1
+from repro.traceback.edge_marking import MarkingRouterExtension, ProbabilisticTraceback
+from repro.traceback.route_record import RouteRecordTraceback
+
+from benchmarks.conftest import run_once
+
+HANDSHAKE_TIME = 0.6     # the paper's 3-way-handshake figure
+ATTACK_RATE_PPS = 1000.0
+REQUEST_RATE = 100.0     # R1 of the paper's worked example
+
+
+def packets_until_path_known(marking_probability: float, seed: int = 5,
+                             max_packets: int = 20000) -> int:
+    """Feed a synthetic flow through the Figure-1 border routers until the
+    probabilistic mechanism reports the correct attacker's gateway."""
+    figure1 = build_figure1()
+    path = figure1.attack_path
+    routers = [MarkingRouterExtension(name, probability=marking_probability,
+                                      rng=SeededRandom(seed + i, name))
+               for i, name in enumerate(path)]
+    traceback = ProbabilisticTraceback(min_packets=20)
+    src, dst = figure1.b_host.address, figure1.g_host.address
+    for count in range(1, max_packets + 1):
+        packet = Packet.data(src, dst)
+        for router in routers:
+            router(packet, None)
+        traceback.observe(packet)
+        if count % 20 == 0:
+            estimate = traceback.path_for(packet)
+            # The path is usable once every border router has been identified
+            # and the attacker's gateway is named correctly.
+            if (estimate is not None
+                    and set(estimate.routers) == set(path)
+                    and estimate.attacker_gateway == path[0]):
+                return count
+    return max_packets
+
+
+def run_comparison():
+    route_record = RouteRecordTraceback()
+    figure1 = build_figure1()
+    packet = Packet.data(figure1.b_host.address, figure1.g_host.address)
+    for name in figure1.attack_path:
+        packet.stamp_route(name)
+    route_record.observe(packet)
+    assert route_record.path_for(packet).attacker_gateway == "B_gw1"
+
+    rows = [("route record (TRIAD-style)", 1)]
+    # Edge sampling is most efficient near p = 1/d (d = 6 border routers
+    # here); far above that, marks from the attacker's gateway rarely survive
+    # re-marking and convergence slows down dramatically.
+    for probability in (0.15, 0.5):
+        needed = packets_until_path_known(probability)
+        rows.append((f"edge marking p={probability}", needed))
+    return rows
+
+
+@pytest.mark.benchmark(group="E12-traceback")
+def test_bench_traceback_delay_and_ttmp_provisioning(benchmark):
+    rows = run_once(benchmark, run_comparison)
+    table = ResultTable(
+        "E12: traceback substrate vs Ttmp and victim-gateway filter provisioning "
+        f"(R1 = {REQUEST_RATE:.0f} req/s, handshake = 600 ms, attack at 1000 pps)",
+        ["traceback mechanism", "packets to identify attacker's gateway",
+         "traceback time", "required Ttmp", "nv = R1*Ttmp"],
+    )
+    for name, packets in rows:
+        traceback_time = (packets - 1) / ATTACK_RATE_PPS
+        ttmp = traceback_time + HANDSHAKE_TIME
+        table.add_row(name, packets, format_seconds(traceback_time),
+                      format_seconds(ttmp),
+                      victim_gateway_filters(REQUEST_RATE, ttmp))
+    table.add_note("paper: with in-packet traceback the traceback time is 0, so "
+                   "Ttmp = 0.6 s and nv = 60; slower traceback inflates both")
+    table.print()
+
+    route_record_packets = rows[0][1]
+    marking_packets = [packets for _, packets in rows[1:]]
+    assert route_record_packets == 1
+    # Probabilistic marking needs many more packets than the shim, and gets
+    # worse as the marking probability moves away from the 1/d sweet spot.
+    assert all(p >= 20 for p in marking_packets)
+    assert marking_packets[1] >= marking_packets[0]
+    # Consequence for provisioning: the route-record Ttmp needs the fewest filters.
+    nv_route_record = victim_gateway_filters(REQUEST_RATE, HANDSHAKE_TIME)
+    nv_marking = victim_gateway_filters(
+        REQUEST_RATE, HANDSHAKE_TIME + (marking_packets[0] - 1) / ATTACK_RATE_PPS)
+    assert nv_route_record == 60
+    assert nv_marking > nv_route_record

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""A distributed flood from a zombie army, defended by AITF.
+
+The paper's motivating scenario (Section I): an attacker compromises many
+hosts and orchestrates them to flood an enterprise's 10 Mbps tail circuit.
+This example builds a dumbbell with a configurable number of zombies behind
+one provider, deploys AITF, and shows:
+
+* legitimate goodput collapsing the moment the flood starts,
+* the victim detecting each zombie flow and requesting filters,
+* the zombies' own provider blocking every flow at its edge,
+* goodput recovering within a fraction of a second.
+
+Run:  python examples/ddos_flood_defense.py [--zombies 20]
+"""
+
+import argparse
+
+from repro import AITFConfig, deploy_aitf
+from repro.analysis.metrics import GoodputMeter, OccupancySampler
+from repro.analysis.report import ResultTable, format_bps
+from repro.attacks.legitimate import LegitimateTraffic
+from repro.attacks.zombies import ZombieArmy
+from repro.core.detection import RateBasedDetector
+from repro.core.events import EventType
+from repro.topology.tree import build_dumbbell
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--zombies", type=int, default=20,
+                        help="number of compromised hosts flooding the victim")
+    parser.add_argument("--duration", type=float, default=12.0,
+                        help="simulated seconds to run")
+    args = parser.parse_args()
+
+    # One victim behind a 10 Mbps tail circuit; N zombies behind one provider.
+    dumbbell = build_dumbbell(sources=args.zombies, tail_circuit_bandwidth=10e6)
+    config = AITFConfig(filter_timeout=60.0, temporary_filter_timeout=0.6,
+                        default_accept_rate=200.0, default_send_rate=200.0)
+    deployment = deploy_aitf(dumbbell.all_nodes(), config)
+
+    # The victim detects undesired flows by their rate.
+    victim_agent = deployment.host_agent("victim")
+    RateBasedDetector(victim_agent, rate_threshold_bps=0.2e6, window=0.3,
+                      detection_delay=0.1)
+
+    # Legitimate traffic shares the tail circuit (sent by zombie 0's innocent
+    # neighbour — the first source host is left clean).
+    clean_host = dumbbell.sources[0]
+    legit = LegitimateTraffic(clean_host, dumbbell.victim.address, rate_pps=300)
+    legit.attach_receiver(dumbbell.victim)
+    goodput = GoodputMeter(dumbbell.victim)
+
+    # The other hosts are zombies.
+    zombies = dumbbell.sources[1:]
+    army = ZombieArmy(zombies, dumbbell.victim.address,
+                      rate_pps_per_zombie=150, start_time=2.0, start_jitter=0.5)
+    army.register_with_agents(deployment.host_agents)
+
+    filters = OccupancySampler(dumbbell.sim,
+                               lambda: dumbbell.source_gateway.filter_table.occupancy,
+                               name="provider filters").start()
+
+    legit.start()
+    army.start()
+    dumbbell.sim.run(until=args.duration)
+
+    log = deployment.event_log
+    table = ResultTable(
+        f"Zombie flood defense ({len(zombies)} zombies x 1.2 Mbps each)",
+        ["metric", "value"],
+    )
+    table.add_row("aggregate attack offered", format_bps(army.offered_rate_bps))
+    table.add_row("legit goodput before attack (0-2 s)",
+                  format_bps(goodput.goodput_bps(0.0, 2.0)))
+    table.add_row("legit goodput during first second of attack",
+                  format_bps(goodput.goodput_bps(2.0, 3.0)))
+    table.add_row("legit goodput after AITF response (4 s onward)",
+                  format_bps(goodput.goodput_bps(4.0, args.duration)))
+    table.add_row("filtering requests sent by the victim",
+                  sum(1 for e in log.of_type(EventType.REQUEST_SENT)
+                      if e.node == "victim"))
+    table.add_row("flows blocked at the zombies' provider",
+                  sum(1 for e in log.of_type(EventType.FILTER_INSTALLED)
+                      if e.node == "source_gw"))
+    table.add_row("peak wire-speed filters at the provider", int(filters.peak))
+    table.add_row("zombies still sending at the end", army.active_count)
+    table.print()
+
+
+if __name__ == "__main__":
+    main()

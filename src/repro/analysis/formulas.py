@@ -1,0 +1,133 @@
+"""Closed-form performance formulas from Section IV of the paper.
+
+Every quantitative claim in the evaluation reduces to one of these:
+
+* IV-A.1 — effective-bandwidth reduction factor r ≈ n(Td + Tr)/T,
+* IV-A.2 — number of simultaneous undesired flows a client is protected
+  against, Nv = R1·T,
+* IV-B  — victim-side provider resources, nv = R1·Ttmp filters and
+  mv = R1·T shadow-cache entries,
+* IV-C  — attacker-side provider resources, na = R2·T filters,
+* IV-D  — the attacker's own resources, also na = R2·T filters.
+
+The functions are used two ways: benchmarks call them to get the paper's
+predicted value next to the simulated measurement, and the capacity-planning
+example uses them the way a provider would when writing filtering contracts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def effective_bandwidth_reduction(
+    non_cooperating_nodes: int,
+    detection_time: float,
+    victim_gateway_delay: float,
+    filter_timeout: float,
+) -> float:
+    """r ≈ n(Td + Tr)/T — Section IV-A.1.
+
+    Parameters
+    ----------
+    non_cooperating_nodes:
+        n — AITF nodes on the attack path that do not take their filtering
+        responsibility (the attacker alone gives n = 1).
+    detection_time:
+        Td — time for the victim to detect the undesired flow.
+    victim_gateway_delay:
+        Tr — one-way delay from the victim to its gateway.
+    filter_timeout:
+        T — the blocking duration every filtering request asks for.
+    """
+    if filter_timeout <= 0:
+        raise ValueError("filter_timeout (T) must be positive")
+    if non_cooperating_nodes < 0:
+        raise ValueError("non_cooperating_nodes (n) must be non-negative")
+    if detection_time < 0 or victim_gateway_delay < 0:
+        raise ValueError("Td and Tr must be non-negative")
+    return non_cooperating_nodes * (detection_time + victim_gateway_delay) / filter_timeout
+
+
+def effective_bandwidth(original_bandwidth_bps: float,
+                        non_cooperating_nodes: int,
+                        detection_time: float,
+                        victim_gateway_delay: float,
+                        filter_timeout: float) -> float:
+    """Be ≈ B · n(Td + Tr)/T — the undesired flow's bandwidth as seen by the victim."""
+    return original_bandwidth_bps * effective_bandwidth_reduction(
+        non_cooperating_nodes, detection_time, victim_gateway_delay, filter_timeout
+    )
+
+
+def protected_flows(accept_rate: float, filter_timeout: float) -> int:
+    """Nv = R1·T — Section IV-A.2."""
+    if accept_rate <= 0 or filter_timeout <= 0:
+        raise ValueError("R1 and T must be positive")
+    return int(accept_rate * filter_timeout)
+
+
+def victim_gateway_filters(accept_rate: float, temporary_filter_timeout: float) -> int:
+    """nv = R1·Ttmp — Section IV-B."""
+    if accept_rate <= 0 or temporary_filter_timeout <= 0:
+        raise ValueError("R1 and Ttmp must be positive")
+    return int(accept_rate * temporary_filter_timeout)
+
+
+def victim_gateway_shadow_entries(accept_rate: float, filter_timeout: float) -> int:
+    """mv = R1·T — Section IV-B."""
+    if accept_rate <= 0 or filter_timeout <= 0:
+        raise ValueError("R1 and T must be positive")
+    return int(accept_rate * filter_timeout)
+
+
+def attacker_side_filters(send_rate: float, filter_timeout: float) -> int:
+    """na = R2·T — Sections IV-C and IV-D."""
+    if send_rate <= 0 or filter_timeout <= 0:
+        raise ValueError("R2 and T must be positive")
+    return int(send_rate * filter_timeout)
+
+
+@dataclass(frozen=True)
+class PaperExamples:
+    """The worked numeric examples quoted in Section IV.
+
+    Kept as data so the benchmarks and EXPERIMENTS.md quote exactly the same
+    numbers the paper does.
+    """
+
+    #: IV-A.1: Tr = 50 ms, T = 1 min, n = 1, Td ignored  ⇒ r ≈ 0.00083.
+    example_reduction_tr: float = 0.050
+    example_reduction_T: float = 60.0
+    example_reduction_n: int = 1
+    example_reduction_value: float = 0.00083
+
+    #: IV-A.2: R1 = 100 req/s, T = 1 min  ⇒ Nv = 6000 flows.
+    example_R1: float = 100.0
+    example_T: float = 60.0
+    example_protected_flows: int = 6000
+
+    #: IV-B: handshake 600 ms, traceback 0  ⇒ Ttmp = 0.6 s  ⇒ nv = 60 filters.
+    example_Ttmp: float = 0.6
+    example_victim_filters: int = 60
+
+    #: IV-C/D: R2 = 1 req/s, T = 1 min  ⇒ na = 60 filters.
+    example_R2: float = 1.0
+    example_attacker_filters: int = 60
+
+    def check_consistency(self) -> bool:
+        """Sanity-check the formulas against every number quoted in the paper."""
+        reduction = effective_bandwidth_reduction(
+            self.example_reduction_n, 0.0,
+            self.example_reduction_tr, self.example_reduction_T,
+        )
+        return (
+            abs(reduction - self.example_reduction_value) < 1e-5
+            and protected_flows(self.example_R1, self.example_T) == self.example_protected_flows
+            and victim_gateway_filters(self.example_R1, self.example_Ttmp) == self.example_victim_filters
+            and victim_gateway_shadow_entries(self.example_R1, self.example_T) == self.example_protected_flows
+            and attacker_side_filters(self.example_R2, self.example_T) == self.example_attacker_filters
+        )
+
+
+PAPER_EXAMPLES = PaperExamples()

@@ -1,0 +1,88 @@
+"""Report tables.
+
+Benchmarks print the rows the paper's evaluation reports: paper-predicted
+value next to the simulated measurement, one row per parameter point.
+:class:`ResultTable` does the column sizing and a few convenience formats so
+every benchmark prints consistently and EXPERIMENTS.md can paste the output
+verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+
+def format_bps(value_bps: float) -> str:
+    """Human-readable bit-rate (e.g. '9.53 Mbps')."""
+    for unit, scale in (("Gbps", 1e9), ("Mbps", 1e6), ("kbps", 1e3)):
+        if abs(value_bps) >= scale:
+            return f"{value_bps / scale:.2f} {unit}"
+    return f"{value_bps:.0f} bps"
+
+
+def format_seconds(value: float) -> str:
+    """Human-readable duration (e.g. '50 ms', '1.5 s', '2.0 min')."""
+    if abs(value) < 1.0:
+        return f"{value * 1e3:.0f} ms"
+    if abs(value) < 120.0:
+        return f"{value:.2f} s"
+    return f"{value / 60.0:.1f} min"
+
+
+def format_ratio(value: float) -> str:
+    """Ratio with enough precision for values like 0.00083."""
+    if value == 0:
+        return "0"
+    if abs(value) < 0.01:
+        return f"{value:.5f}"
+    return f"{value:.3f}"
+
+
+@dataclass
+class ResultTable:
+    """A fixed-column text table."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[List[str]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Add one row; values are str()-ed."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values but table has {len(self.columns)} columns"
+            )
+        self.rows.append([str(v) for v in values])
+
+    def add_note(self, note: str) -> None:
+        """Attach a footnote printed under the table."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """The table as text."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Print the rendered table (benchmarks call this so -s shows the rows)."""
+        print()
+        print(self.render())
+
+
+def comparison_row(label: str, paper_value: Any, measured_value: Any,
+                   *, tolerance_note: str = "") -> List[str]:
+    """A standard [label, paper, measured, note] row."""
+    return [str(label), str(paper_value), str(measured_value), tolerance_note]

@@ -1,0 +1,162 @@
+"""Legitimate traffic.
+
+The whole point of defending against DoS is to preserve the goodput of
+*legitimate* clients sharing the victim's tail circuit (Section I's 10 Mbps
+enterprise example).  These generators produce that traffic and account for
+how much of it actually arrived, so the goodput experiments (E9, E11) can
+report the number the paper's argument is really about.
+
+* :class:`LegitimateTraffic` — constant-bit-rate traffic (e.g. a steady
+  customer workload).
+* :class:`PoissonTraffic` — Poisson packet arrivals, a better model for many
+  independent small clients aggregated onto one link.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.net.address import IPAddress
+from repro.net.packet import Packet, Protocol
+from repro.router.nodes import Host
+from repro.sim.process import PeriodicProcess
+from repro.sim.randomness import SeededRandom
+
+
+class LegitimateTraffic:
+    """Constant-rate traffic from one well-behaved host to a destination."""
+
+    def __init__(
+        self,
+        sender: Host,
+        destination: Union[str, IPAddress],
+        *,
+        rate_pps: float = 100.0,
+        packet_size: int = 1000,
+        protocol: str = Protocol.TCP.value,
+        dst_port: int = 443,
+        start_time: float = 0.0,
+        duration: Optional[float] = None,
+    ) -> None:
+        if rate_pps <= 0:
+            raise ValueError("rate_pps must be positive")
+        self.sender = sender
+        self.destination = IPAddress.parse(destination)
+        self.rate_pps = rate_pps
+        self.packet_size = packet_size
+        self.protocol = protocol
+        self.dst_port = dst_port
+        self.start_time = start_time
+        self.duration = duration
+        #: Packets the generator tried to send (including ones suppressed at
+        #: the sender, e.g. by an AITF outbound filter installed on the host).
+        self.packets_offered = 0
+        self.packets_sent = 0
+        self.packets_received = 0
+        self.bytes_received = 0
+        self._receiver_hooked = False
+        self._process = PeriodicProcess(
+            sender.sim, 1.0 / rate_pps, self._emit,
+            start_delay=start_time, name=f"legit-{sender.name}",
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "LegitimateTraffic":
+        """Begin sending; returns self for chaining."""
+        self._process.start()
+        if self.duration is not None:
+            self.sender.sim.schedule(self.start_time + self.duration,
+                                     self._process.stop, name="legit-end")
+        return self
+
+    def stop(self) -> None:
+        """Stop sending."""
+        self._process.stop()
+
+    def attach_receiver(self, receiver: Host) -> None:
+        """Count deliveries at the destination host (for goodput accounting)."""
+        if self._receiver_hooked:
+            return
+        self._receiver_hooked = True
+        receiver.on_receive(self._count_delivery)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    @property
+    def offered_rate_bps(self) -> float:
+        """Offered load in bits per second."""
+        return self.rate_pps * self.packet_size * 8
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of *offered* packets that reached the destination.
+
+        Offered (not merely sent) is the honest denominator: a flow that is
+        blackholed by a forged filter at its own host never even makes it onto
+        the wire, and that loss must show up here.
+        """
+        if self.packets_offered == 0:
+            return 0.0
+        return self.packets_received / self.packets_offered
+
+    def goodput_bps(self, elapsed: float) -> float:
+        """Received payload rate over ``elapsed`` seconds."""
+        if elapsed <= 0:
+            return 0.0
+        return (self.bytes_received * 8) / elapsed
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _emit(self) -> None:
+        packet = Packet.data(
+            src=self.sender.address,
+            dst=self.destination,
+            protocol=self.protocol,
+            dst_port=self.dst_port,
+            size=self.packet_size,
+            flow_tag=f"legit-{self.sender.name}",
+        )
+        packet.created_at = self.sender.sim.now
+        self.packets_offered += 1
+        if self.sender.send(packet):
+            self.packets_sent += 1
+
+    def _count_delivery(self, packet: Packet) -> None:
+        if packet.flow_tag == f"legit-{self.sender.name}":
+            self.packets_received += 1
+            self.bytes_received += packet.size
+
+
+class PoissonTraffic(LegitimateTraffic):
+    """Legitimate traffic with exponentially distributed inter-arrivals."""
+
+    def __init__(self, sender: Host, destination: Union[str, IPAddress],
+                 *, rng: Optional[SeededRandom] = None, **kwargs) -> None:
+        super().__init__(sender, destination, **kwargs)
+        self._rng = rng or SeededRandom(hash(sender.name) & 0x7FFFFFFF,
+                                        name=f"poisson-{sender.name}")
+        # Replace the fixed-interval process with a self-rescheduling one.
+        self._process.stop()
+        self._running = False
+
+    def start(self) -> "PoissonTraffic":
+        self._running = True
+        self.sender.sim.schedule(self.start_time, self._poisson_emit, name="poisson-start")
+        if self.duration is not None:
+            self.sender.sim.schedule(self.start_time + self.duration, self.stop,
+                                     name="poisson-end")
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _poisson_emit(self) -> None:
+        if not self._running:
+            return
+        self._emit()
+        gap = self._rng.expovariate(self.rate_pps)
+        self.sender.sim.schedule(gap, self._poisson_emit, name="poisson-next")

@@ -1,0 +1,30 @@
+"""Baselines AITF is compared against (Section V, Related Work).
+
+* :mod:`repro.baselines.pushback` — the cooperative pushback mechanism of
+  Mahajan et al. [MBF+01]: hop-by-hop, rate-limits whole aggregates, relies
+  on upstream goodwill.
+* :mod:`repro.baselines.manual` — what operators do today: a human installs
+  a filter at the edge router minutes after the attack starts, then phones
+  the ISP.
+* :mod:`repro.baselines.ingress_dpf` — route-based/ingress packet filtering
+  in the spirit of DPF [PL01]: proactively drops spoofed packets at every
+  provider edge, but cannot stop non-spoofed floods.
+"""
+
+from repro.baselines.pushback import PushbackAgent, PushbackDeployment, deploy_pushback
+from repro.baselines.manual import ManualFilteringOperator
+from repro.baselines.ingress_dpf import (
+    IngressDeploymentStats,
+    collect_ingress_stats,
+    enable_universal_ingress_filtering,
+)
+
+__all__ = [
+    "PushbackAgent",
+    "PushbackDeployment",
+    "deploy_pushback",
+    "ManualFilteringOperator",
+    "enable_universal_ingress_filtering",
+    "collect_ingress_stats",
+    "IngressDeploymentStats",
+]

@@ -1,0 +1,71 @@
+"""Route-based / ingress packet filtering (the DPF-flavoured baseline).
+
+Park & Lee's DPF [PL01] proactively drops spoofed packets using route-based
+filters at provider edges.  The paper's position (Section V) is that DPF and
+AITF are complementary: DPF removes *spoofed* flows before they reach the
+victim, but a flood sent with the zombies' real addresses sails straight
+through, which is exactly the case AITF handles.
+
+The baseline here flips every border router's ingress filter to enforcing
+mode (they are created in audit mode by the topology builders) and collects
+deployment-wide statistics, so experiments can show:
+
+* spoofed floods collapse under universal ingress filtering (DPF's win), and
+* non-spoofed floods are untouched, leaving the victim's tail circuit just
+  as congested (why AITF is still needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.router.nodes import BorderRouter, NetworkNode
+
+
+@dataclass
+class IngressDeploymentStats:
+    """Aggregate ingress-filtering statistics across a deployment."""
+
+    routers_enforcing: int = 0
+    packets_checked: int = 0
+    spoofed_detected: int = 0
+    spoofed_dropped: int = 0
+
+    @property
+    def detection_ratio(self) -> float:
+        """Fraction of checked packets that were identified as spoofed."""
+        if self.packets_checked == 0:
+            return 0.0
+        return self.spoofed_detected / self.packets_checked
+
+
+def enable_universal_ingress_filtering(nodes: Iterable[NetworkNode],
+                                       *, enforce: bool = True) -> List[BorderRouter]:
+    """Turn on (or off) ingress enforcement at every border router given.
+
+    Returns the routers affected.  Routers with no per-link source policy
+    configured keep accepting everything — universal deployment still only
+    helps where the provider actually knows its customers' prefixes, which is
+    the deployment-incentive point Section III-A makes.
+    """
+    affected: List[BorderRouter] = []
+    for node in nodes:
+        if isinstance(node, BorderRouter):
+            node.ingress.enforce = enforce
+            affected.append(node)
+    return affected
+
+
+def collect_ingress_stats(nodes: Iterable[NetworkNode]) -> IngressDeploymentStats:
+    """Sum ingress-filtering counters over every border router given."""
+    stats = IngressDeploymentStats()
+    for node in nodes:
+        if not isinstance(node, BorderRouter):
+            continue
+        if node.ingress.enforce:
+            stats.routers_enforcing += 1
+        stats.packets_checked += node.ingress.stats.packets_checked
+        stats.spoofed_detected += node.ingress.stats.spoofed_detected
+        stats.spoofed_dropped += node.ingress.stats.spoofed_dropped
+    return stats

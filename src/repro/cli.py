@@ -1,0 +1,173 @@
+"""Command-line interface for running the pre-wired scenarios.
+
+A downstream user who just wants to see AITF work (or to sweep a parameter
+from a shell script) should not have to write Python.  The CLI exposes the
+three scenario families behind the benchmarks::
+
+    python -m repro flood    --duration 10 --attack-pps 1500
+    python -m repro onoff    --duration 20 --no-shadow
+    python -m repro resources --role victim --rate 100
+
+Each subcommand prints a small result table and exits 0; `--json` switches
+the output to machine-readable JSON for scripting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.report import ResultTable, format_bps, format_ratio, format_seconds
+from repro.core.config import AITFConfig
+from repro.scenarios.flood_defense import FloodDefenseScenario
+from repro.scenarios.onoff import OnOffScenario
+from repro.scenarios.resources import (
+    AttackerGatewayResourceScenario,
+    VictimGatewayResourceScenario,
+)
+
+
+def _as_dict(result: Any) -> Dict[str, Any]:
+    """Dataclass result -> JSON-serializable dict."""
+    return {key: value for key, value in dataclasses.asdict(result).items()}
+
+
+def _emit(result: Any, table: ResultTable, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(_as_dict(result), indent=2, default=str))
+    else:
+        table.print()
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def run_flood(args: argparse.Namespace) -> int:
+    """The Figure-1 flood-defense scenario."""
+    non_cooperating: List[str] = ["B_host"]
+    non_cooperating += [name.strip() for name in args.non_cooperating.split(",") if name.strip()]
+    config = AITFConfig(filter_timeout=args.filter_timeout,
+                        temporary_filter_timeout=args.ttmp)
+    scenario = FloodDefenseScenario(
+        aitf_enabled=not args.no_aitf,
+        config=config,
+        attack_rate_pps=args.attack_pps,
+        legit_rate_pps=args.legit_pps,
+        detection_delay=args.detection_delay,
+        non_cooperating=tuple(dict.fromkeys(non_cooperating)),
+    )
+    result = scenario.run(duration=args.duration)
+    table = ResultTable("Flood defense", ["metric", "value"])
+    table.add_row("AITF enabled", not args.no_aitf)
+    table.add_row("attack offered", format_bps(result.attack_offered_bps))
+    table.add_row("attack reaching victim", format_bps(result.attack_received_bps))
+    table.add_row("effective-bandwidth ratio", format_ratio(result.effective_bandwidth_ratio))
+    table.add_row("legitimate goodput", format_bps(result.legit_goodput_bps))
+    table.add_row("time to first block",
+                  format_seconds(result.time_to_first_block)
+                  if result.time_to_first_block is not None else "never")
+    table.add_row("escalation rounds", result.escalation_rounds)
+    table.add_row("disconnections", result.disconnections)
+    _emit(result, table, args.json)
+    return 0
+
+
+def run_onoff(args: argparse.Namespace) -> int:
+    """The on-off attack scenario."""
+    scenario = OnOffScenario(shadow_enabled=not args.no_shadow)
+    result = scenario.run(duration=args.duration)
+    table = ResultTable("On-off attack", ["metric", "value"])
+    table.add_row("shadow cache enabled", not args.no_shadow)
+    table.add_row("attack cycles", result.attack_cycles)
+    table.add_row("packets sent / received",
+                  f"{result.packets_sent} / {result.packets_received}")
+    table.add_row("leak ratio", format_ratio(result.effective_bandwidth_ratio))
+    table.add_row("shadow hits", result.shadow_hits)
+    table.add_row("escalation rounds", result.escalation_rounds)
+    _emit(result, table, args.json)
+    return 0
+
+
+def run_resources(args: argparse.Namespace) -> int:
+    """Resource provisioning measurements (victim side or attacker side)."""
+    if args.role == "victim":
+        scenario = VictimGatewayResourceScenario(request_rate=args.rate)
+        result = scenario.run(duration=args.duration)
+        table = ResultTable("Victim-gateway resources", ["metric", "value"])
+        table.add_row("request rate R1", f"{args.rate:.0f}/s")
+        table.add_row("requests accepted", result.requests_accepted)
+        table.add_row("requests policed", result.requests_policed)
+        table.add_row("peak wire-speed filters", int(result.peak_filter_occupancy))
+        table.add_row("paper nv = R1*Ttmp", result.predicted_filters)
+        table.add_row("peak shadow entries", int(result.peak_shadow_occupancy))
+        table.add_row("paper mv = R1*T", result.predicted_shadow_entries)
+    else:
+        scenario = AttackerGatewayResourceScenario(request_rate=args.rate,
+                                                   filter_timeout=args.filter_timeout)
+        result = scenario.run(duration=args.duration)
+        table = ResultTable("Attacker-side resources", ["metric", "value"])
+        table.add_row("request rate R2", f"{args.rate:.0f}/s")
+        table.add_row("requests honoured", result.requests_delivered)
+        table.add_row("gateway peak filters", int(result.gateway_peak_filter_occupancy))
+        table.add_row("attacker-host peak filters",
+                      int(result.attacker_host_peak_filter_occupancy))
+        table.add_row("paper na = R2*T", result.predicted_filters)
+    _emit(result, table, args.json)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# argument parsing
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run AITF reproduction scenarios from the command line.",
+    )
+    parser.add_argument("--json", action="store_true",
+                        help="print the raw result as JSON instead of a table")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    flood = subparsers.add_parser("flood", help="one flood against the Figure-1 victim")
+    flood.add_argument("--duration", type=float, default=10.0)
+    flood.add_argument("--attack-pps", type=float, default=1500.0)
+    flood.add_argument("--legit-pps", type=float, default=400.0)
+    flood.add_argument("--detection-delay", type=float, default=0.1)
+    flood.add_argument("--filter-timeout", type=float, default=60.0)
+    flood.add_argument("--ttmp", type=float, default=0.6)
+    flood.add_argument("--no-aitf", action="store_true",
+                       help="run the undefended baseline")
+    flood.add_argument("--non-cooperating", default="",
+                       help="comma-separated gateway names that ignore AITF "
+                            "(e.g. B_gw1,B_gw2)")
+    flood.set_defaults(func=run_flood)
+
+    onoff = subparsers.add_parser("onoff", help="pulsed attack behind a bad gateway")
+    onoff.add_argument("--duration", type=float, default=20.0)
+    onoff.add_argument("--no-shadow", action="store_true",
+                       help="ablate the DRAM shadow cache")
+    onoff.set_defaults(func=run_onoff)
+
+    resources = subparsers.add_parser("resources", help="router resource measurements")
+    resources.add_argument("--role", choices=("victim", "attacker"), default="victim")
+    resources.add_argument("--rate", type=float, default=100.0,
+                           help="contract request rate (R1 or R2)")
+    resources.add_argument("--duration", type=float, default=5.0)
+    resources.add_argument("--filter-timeout", type=float, default=20.0)
+    resources.set_defaults(func=run_resources)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

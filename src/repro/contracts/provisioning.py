@@ -1,0 +1,72 @@
+"""Resource provisioning derived from filtering contracts.
+
+Section IV turns contracts into concrete router resources:
+
+* victim side (IV-B): a provider that accepts R1 requests/s from a client
+  needs nv = R1 * Ttmp wire-speed filters and a DRAM cache of mv = R1 * T
+  entries to satisfy every request;
+* attacker side (IV-C/D): a provider allowed to send R2 requests/s to a
+  client needs na = R2 * T filters to enforce them, and the client needs the
+  same number to honour them.
+
+:func:`provision_provider` and :func:`provision_client` compute these sizes
+for a whole contract book, which both the capacity-planning example and the
+resource benchmarks (E3/E4/E5) use to size routers before a run and to check
+afterwards that measured peak occupancy stayed within the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.contracts.contract import ContractBook, FilteringContract
+
+
+@dataclass
+class ProvisioningPlan:
+    """Computed resource requirements for one node."""
+
+    role: str
+    filter_slots: int = 0
+    shadow_entries: int = 0
+    per_contract: Dict[str, int] = field(default_factory=dict)
+
+    def fits(self, filter_capacity: int, shadow_capacity: int = 0) -> bool:
+        """True when a router with the given table sizes can honour the plan."""
+        if self.filter_slots > filter_capacity:
+            return False
+        if self.shadow_entries and shadow_capacity and self.shadow_entries > shadow_capacity:
+            return False
+        return True
+
+
+def provision_provider(book: ContractBook, filter_timeout: float,
+                       temporary_filter_timeout: float) -> ProvisioningPlan:
+    """Size a provider's router for its victim-side duties.
+
+    For each client contract the provider needs ``R1 * Ttmp`` filters and
+    ``R1 * T`` shadow entries (Section IV-B); totals are the sum over clients
+    because a provider must be able to serve all clients simultaneously.
+    """
+    plan = ProvisioningPlan(role="provider")
+    for name, contract in book.all().items():
+        filters = contract.victim_side_filters(temporary_filter_timeout)
+        plan.per_contract[name] = filters
+        plan.filter_slots += filters
+        plan.shadow_entries += contract.victim_side_shadow_entries(filter_timeout)
+    return plan
+
+
+def provision_client(book: ContractBook, filter_timeout: float) -> ProvisioningPlan:
+    """Size a node for its attacker-side duties (Section IV-C/D).
+
+    Both the provider enforcing requests toward a client and the client
+    honouring them need ``R2 * T`` filters per contract.
+    """
+    plan = ProvisioningPlan(role="client")
+    for name, contract in book.all().items():
+        filters = contract.attacker_side_filters(filter_timeout)
+        plan.per_contract[name] = filters
+        plan.filter_slots += filters
+    return plan

@@ -1,0 +1,107 @@
+"""Deploying AITF onto a topology.
+
+A scenario builds nodes and links first (see :mod:`repro.topology`), then
+calls :func:`deploy_aitf` to attach a protocol agent to every end-host and
+border router, sharing one configuration, one event log and one node
+directory.  The returned :class:`AITFDeployment` is the handle experiments
+use to reach any agent, flip cooperation flags, and read the event log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.config import AITFConfig
+from repro.core.directory import NodeDirectory
+from repro.core.events import ProtocolEventLog
+from repro.core.gateway_agent import GatewayAgent
+from repro.core.host_agent import HostAgent
+from repro.router.nodes import BorderRouter, Host, NetworkNode
+from repro.sim.randomness import SeededRandom
+
+
+@dataclass
+class AITFDeployment:
+    """Every agent created for one scenario, plus the shared plumbing."""
+
+    config: AITFConfig
+    directory: NodeDirectory
+    event_log: ProtocolEventLog
+    host_agents: Dict[str, HostAgent] = field(default_factory=dict)
+    gateway_agents: Dict[str, GatewayAgent] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def host_agent(self, name: str) -> HostAgent:
+        """The agent attached to the named host (KeyError when absent)."""
+        return self.host_agents[name]
+
+    def gateway_agent(self, name: str) -> GatewayAgent:
+        """The agent attached to the named border router (KeyError when absent)."""
+        return self.gateway_agents[name]
+
+    def all_agents(self) -> List[object]:
+        """Every agent, hosts first."""
+        return list(self.host_agents.values()) + list(self.gateway_agents.values())
+
+    # ------------------------------------------------------------------
+    # scenario knobs
+    # ------------------------------------------------------------------
+    def set_cooperative(self, name: str, cooperative: bool) -> None:
+        """Flip a node's willingness to honour AITF requests."""
+        if name in self.gateway_agents:
+            self.gateway_agents[name].cooperative = cooperative
+        elif name in self.host_agents:
+            self.host_agents[name].cooperative = cooperative
+        else:
+            raise KeyError(f"no AITF agent named {name}")
+
+    def set_disconnection_enabled(self, enabled: bool) -> None:
+        """Enable/disable the disconnection endgame on every gateway."""
+        for agent in self.gateway_agents.values():
+            agent.disconnection_enabled = enabled
+
+
+def deploy_aitf(
+    nodes: Iterable[NetworkNode],
+    config: Optional[AITFConfig] = None,
+    *,
+    event_log: Optional[ProtocolEventLog] = None,
+    directory: Optional[NodeDirectory] = None,
+    rng: Optional[SeededRandom] = None,
+    cooperative: bool = True,
+) -> AITFDeployment:
+    """Attach AITF agents to every host and border router in ``nodes``.
+
+    Parameters
+    ----------
+    nodes:
+        The nodes of a built topology (hosts and border routers; anything
+        else is registered in the directory but gets no agent).
+    config:
+        Protocol configuration shared by every agent.
+    cooperative:
+        Initial cooperation flag for every agent; individual nodes can be
+        flipped afterwards via :meth:`AITFDeployment.set_cooperative`.
+    """
+    config = config or AITFConfig()
+    event_log = event_log or ProtocolEventLog()
+    directory = directory or NodeDirectory()
+    rng = rng or SeededRandom(0, name="deployment")
+
+    deployment = AITFDeployment(config=config, directory=directory, event_log=event_log)
+    node_list = list(nodes)
+    directory.register_all(node_list)
+    for node in node_list:
+        if isinstance(node, BorderRouter):
+            deployment.gateway_agents[node.name] = GatewayAgent(
+                node, config, event_log, directory,
+                rng=rng.fork(node.name), cooperative=cooperative,
+            )
+        elif isinstance(node, Host):
+            deployment.host_agents[node.name] = HostAgent(
+                node, config, event_log, directory, cooperative=cooperative,
+            )
+    return deployment

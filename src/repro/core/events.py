@@ -1,0 +1,152 @@
+"""Protocol event log.
+
+Every AITF agent reports what it does (requests sent and received, filters
+installed and expired, handshakes run, escalations, disconnections) to a
+shared :class:`ProtocolEventLog`.  Experiments read the log instead of poking
+at agent internals, which keeps the benchmarks honest: they measure what the
+protocol observably did, in simulation time, the same way the paper's testbed
+measurements would.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+
+class EventType(str, enum.Enum):
+    """Everything an AITF node can report."""
+
+    ATTACK_DETECTED = "attack_detected"
+    REQUEST_SENT = "request_sent"
+    REQUEST_RECEIVED = "request_received"
+    REQUEST_POLICED = "request_policed"
+    REQUEST_REJECTED = "request_rejected"
+    TEMP_FILTER_INSTALLED = "temp_filter_installed"
+    TEMP_FILTER_EXPIRED = "temp_filter_expired"
+    FILTER_INSTALLED = "filter_installed"
+    FILTER_INSTALL_FAILED = "filter_install_failed"
+    SHADOW_LOGGED = "shadow_logged"
+    SHADOW_HIT = "shadow_hit"
+    HANDSHAKE_STARTED = "handshake_started"
+    HANDSHAKE_CONFIRMED = "handshake_confirmed"
+    HANDSHAKE_FAILED = "handshake_failed"
+    ESCALATION = "escalation"
+    FLOW_STOPPED = "flow_stopped"
+    DISCONNECTION = "disconnection"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class ProtocolEvent:
+    """One logged protocol action."""
+
+    time: float
+    event_type: EventType
+    node: str
+    request_id: Optional[int] = None
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ProtocolEvent(t={self.time:.4f} {self.node} {self.event_type.value})"
+
+
+class ProtocolEventLog:
+    """Append-only log shared by every agent in a scenario."""
+
+    def __init__(self) -> None:
+        self._events: List[ProtocolEvent] = []
+        self._listeners: List[Callable[[ProtocolEvent], None]] = []
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record(self, time: float, event_type: EventType, node: str,
+               request_id: Optional[int] = None, **details: Any) -> ProtocolEvent:
+        """Append an event and notify listeners."""
+        event = ProtocolEvent(
+            time=time, event_type=event_type, node=node,
+            request_id=request_id, details=details,
+        )
+        self._events.append(event)
+        for listener in self._listeners:
+            listener(event)
+        return event
+
+    def subscribe(self, listener: Callable[[ProtocolEvent], None]) -> None:
+        """Register a callback invoked for every future event."""
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def all(self) -> List[ProtocolEvent]:
+        """Snapshot of every event, in order."""
+        return list(self._events)
+
+    def of_type(self, event_type: EventType) -> List[ProtocolEvent]:
+        """Events of one type, in order."""
+        return [e for e in self._events if e.event_type is event_type]
+
+    def by_node(self, node: str) -> List[ProtocolEvent]:
+        """Events reported by one node, in order."""
+        return [e for e in self._events if e.node == node]
+
+    def for_request(self, request_id: int) -> List[ProtocolEvent]:
+        """Every event belonging to one filtering request's lifetime."""
+        return [e for e in self._events if e.request_id == request_id]
+
+    def count(self, event_type: EventType) -> int:
+        """Number of events of one type."""
+        return sum(1 for e in self._events if e.event_type is event_type)
+
+    def counts(self) -> Counter:
+        """Histogram of event types."""
+        return Counter(e.event_type for e in self._events)
+
+    def first(self, event_type: EventType, *, node: Optional[str] = None,
+              request_id: Optional[int] = None) -> Optional[ProtocolEvent]:
+        """Earliest event matching the criteria, or None."""
+        for event in self._events:
+            if event.event_type is not event_type:
+                continue
+            if node is not None and event.node != node:
+                continue
+            if request_id is not None and event.request_id != request_id:
+                continue
+            return event
+        return None
+
+    def last(self, event_type: EventType, *, node: Optional[str] = None) -> Optional[ProtocolEvent]:
+        """Latest event matching the criteria, or None."""
+        for event in reversed(self._events):
+            if event.event_type is not event_type:
+                continue
+            if node is not None and event.node != node:
+                continue
+            return event
+        return None
+
+    def max_round(self, request_id: Optional[int] = None) -> int:
+        """Highest escalation round observed (0 when no escalations happened)."""
+        rounds = [
+            e.details.get("round", 0)
+            for e in self._events
+            if e.event_type is EventType.ESCALATION
+            and (request_id is None or e.request_id == request_id)
+        ]
+        return max(rounds) if rounds else 0
+
+    def clear(self) -> None:
+        """Forget everything (used between benchmark iterations)."""
+        self._events.clear()

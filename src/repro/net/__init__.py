@@ -1,0 +1,35 @@
+"""Network substrate: addressing, packets, flow labels, links and queues.
+
+This package models just enough of an IPv4 internetwork for the AITF
+protocol dynamics to be faithful:
+
+* :class:`IPAddress` / :class:`Prefix` — 32-bit addresses and CIDR prefixes,
+  used for end-host numbering, ingress filtering and flow-label wildcards.
+* :class:`FlowLabel` — the wildcarded packet classifier AITF filtering
+  requests carry ("all packets with source S and destination D").
+* :class:`Packet` — data packets and AITF control messages share one packet
+  type; border routers stamp the route-record shim onto it.
+* :class:`Link` / :class:`DropTailQueue` — bandwidth/latency pipes with
+  finite queues, so tail-circuit congestion (the thing DoS attacks exploit)
+  actually happens in simulation.
+"""
+
+from repro.net.address import IPAddress, Prefix, AddressAllocator
+from repro.net.flowlabel import FlowLabel
+from repro.net.packet import Packet, PacketKind, Protocol
+from repro.net.link import Link, LinkStats
+from repro.net.queues import DropTailQueue, QueueStats
+
+__all__ = [
+    "IPAddress",
+    "Prefix",
+    "AddressAllocator",
+    "FlowLabel",
+    "Packet",
+    "PacketKind",
+    "Protocol",
+    "Link",
+    "LinkStats",
+    "DropTailQueue",
+    "QueueStats",
+]

@@ -1,0 +1,189 @@
+"""Point-to-point links with bandwidth, propagation delay and finite queues.
+
+A :class:`Link` joins two nodes (anything exposing ``name`` and
+``receive_packet(packet, link)``) with one independent transmission pipe per
+direction.  Each pipe serializes packets at the configured bandwidth, applies
+the propagation delay, and drops on queue overflow — which is exactly how a
+flood saturates the victim's tail circuit.
+
+Congestion is therefore an emergent property of the simulation, not a modeled
+abstraction: the benchmarks that show legitimate goodput collapsing under
+attack (experiment E11) rely on nothing more than these pipes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol as TypingProtocol
+
+from repro.net.packet import Packet
+from repro.net.queues import DropTailQueue
+from repro.sim.engine import Simulator
+
+
+class PacketSink(TypingProtocol):
+    """Anything that can terminate a link: hosts, routers."""
+
+    name: str
+
+    def receive_packet(self, packet: Packet, link: "Link") -> None:
+        """Handle a packet arriving over ``link``."""
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass
+class LinkStats:
+    """Per-direction transmission counters."""
+
+    packets_sent: int = 0
+    packets_delivered: int = 0
+    packets_dropped: int = 0
+    bytes_delivered: int = 0
+    busy_time: float = 0.0
+
+    def utilization(self, elapsed: float, bandwidth_bps: float) -> float:
+        """Fraction of capacity used over ``elapsed`` seconds."""
+        if elapsed <= 0 or bandwidth_bps <= 0:
+            return 0.0
+        return min(1.0, (self.bytes_delivered * 8) / (bandwidth_bps * elapsed))
+
+
+class _Pipe:
+    """One direction of a link: queue -> serializer -> propagation -> sink."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sink: PacketSink,
+        bandwidth_bps: float,
+        delay: float,
+        queue: DropTailQueue,
+        link: "Link",
+    ) -> None:
+        self._sim = sim
+        self._sink = sink
+        self._bandwidth = bandwidth_bps
+        self._delay = delay
+        self._queue = queue
+        self._link = link
+        self._busy = False
+        self.stats = LinkStats()
+
+    @property
+    def queue(self) -> DropTailQueue:
+        return self._queue
+
+    def send(self, packet: Packet) -> bool:
+        """Offer a packet to this direction; False means it was dropped."""
+        self.stats.packets_sent += 1
+        if not self._queue.enqueue(packet):
+            self.stats.packets_dropped += 1
+            return False
+        if not self._busy:
+            self._start_transmission()
+        return True
+
+    def _start_transmission(self) -> None:
+        packet = self._queue.dequeue()
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx_time = (packet.size * 8) / self._bandwidth if self._bandwidth > 0 else 0.0
+        self.stats.busy_time += tx_time
+        # Delivery happens after serialization + propagation; the pipe frees
+        # up after serialization alone.
+        self._sim.schedule(tx_time, self._finish_transmission, name="link-tx")
+        self._sim.schedule(tx_time + self._delay, self._deliver, packet, name="link-deliver")
+
+    def _finish_transmission(self) -> None:
+        self._busy = False
+        if not self._queue.is_empty:
+            self._start_transmission()
+
+    def _deliver(self, packet: Packet) -> None:
+        self.stats.packets_delivered += 1
+        self.stats.bytes_delivered += packet.size
+        self._sink.receive_packet(packet, self._link)
+
+
+class Link:
+    """A bidirectional point-to-point link between two nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: PacketSink,
+        b: PacketSink,
+        *,
+        bandwidth_bps: float = 100e6,
+        delay: float = 0.005,
+        queue_capacity_bytes: int = 128_000,
+        name: Optional[str] = None,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.sim = sim
+        self.a = a
+        self.b = b
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.delay = float(delay)
+        self.name = name or f"{a.name}<->{b.name}"
+        self._pipe_to_b = _Pipe(
+            sim, b, self.bandwidth_bps, self.delay,
+            DropTailQueue(queue_capacity_bytes, name=f"{self.name}:{a.name}->{b.name}"),
+            self,
+        )
+        self._pipe_to_a = _Pipe(
+            sim, a, self.bandwidth_bps, self.delay,
+            DropTailQueue(queue_capacity_bytes, name=f"{self.name}:{b.name}->{a.name}"),
+            self,
+        )
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet, sender: PacketSink) -> bool:
+        """Transmit ``packet`` from ``sender`` toward the other endpoint."""
+        pipe = self._pipe_for_sender(sender)
+        return pipe.send(packet)
+
+    def other_end(self, node: PacketSink) -> PacketSink:
+        """The endpoint that is not ``node``."""
+        if node is self.a:
+            return self.b
+        if node is self.b:
+            return self.a
+        raise ValueError(f"{getattr(node, 'name', node)} is not attached to link {self.name}")
+
+    def _pipe_for_sender(self, sender: PacketSink) -> _Pipe:
+        if sender is self.a:
+            return self._pipe_to_b
+        if sender is self.b:
+            return self._pipe_to_a
+        raise ValueError(f"{getattr(sender, 'name', sender)} is not attached to link {self.name}")
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def stats_toward(self, node: PacketSink) -> LinkStats:
+        """Transmission stats for the direction whose receiver is ``node``."""
+        if node is self.b:
+            return self._pipe_to_b.stats
+        if node is self.a:
+            return self._pipe_to_a.stats
+        raise ValueError(f"{getattr(node, 'name', node)} is not attached to link {self.name}")
+
+    def queue_toward(self, node: PacketSink) -> DropTailQueue:
+        """The queue feeding the direction whose receiver is ``node``."""
+        if node is self.b:
+            return self._pipe_to_b.queue
+        if node is self.a:
+            return self._pipe_to_a.queue
+        raise ValueError(f"{getattr(node, 'name', node)} is not attached to link {self.name}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mbps = self.bandwidth_bps / 1e6
+        return f"Link({self.name}, {mbps:.1f} Mbps, {self.delay * 1e3:.1f} ms)"

@@ -1,0 +1,112 @@
+"""Finite packet queues.
+
+The victim's tail circuit congests because its ingress queue overflows; that
+is the whole mechanism a bandwidth DoS attack exploits (Section I's 10 Mbps
+example).  :class:`DropTailQueue` is the standard FIFO with a byte-capacity
+bound and per-queue statistics that the goodput experiments read.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+from repro.net.packet import Packet
+
+
+@dataclass
+class QueueStats:
+    """Counters accumulated by a queue over a run."""
+
+    enqueued: int = 0
+    dequeued: int = 0
+    dropped: int = 0
+    bytes_enqueued: int = 0
+    bytes_dropped: int = 0
+    peak_depth_packets: int = 0
+    peak_depth_bytes: int = 0
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of offered packets that were dropped."""
+        offered = self.enqueued + self.dropped
+        return self.dropped / offered if offered else 0.0
+
+
+class DropTailQueue:
+    """A FIFO queue bounded in bytes (and optionally packets)."""
+
+    def __init__(
+        self,
+        capacity_bytes: int = 64_000,
+        capacity_packets: Optional[int] = None,
+        name: str = "",
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"queue capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.capacity_packets = capacity_packets
+        self.name = name
+        self.stats = QueueStats()
+        self._queue: Deque[Packet] = deque()
+        self._bytes = 0
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def bytes_queued(self) -> int:
+        """Bytes currently sitting in the queue."""
+        return self._bytes
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing is queued."""
+        return not self._queue
+
+    def would_drop(self, packet: Packet) -> bool:
+        """True if enqueueing ``packet`` right now would overflow the queue."""
+        if self.capacity_packets is not None and len(self._queue) >= self.capacity_packets:
+            return True
+        return self._bytes + packet.size > self.capacity_bytes
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet) -> bool:
+        """Append a packet; returns False (and counts a drop) on overflow."""
+        if self.would_drop(packet):
+            self.stats.dropped += 1
+            self.stats.bytes_dropped += packet.size
+            return False
+        self._queue.append(packet)
+        self._bytes += packet.size
+        self.stats.enqueued += 1
+        self.stats.bytes_enqueued += packet.size
+        self.stats.peak_depth_packets = max(self.stats.peak_depth_packets, len(self._queue))
+        self.stats.peak_depth_bytes = max(self.stats.peak_depth_bytes, self._bytes)
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        """Pop the oldest packet, or None when empty."""
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._bytes -= packet.size
+        self.stats.dequeued += 1
+        return packet
+
+    def peek(self) -> Optional[Packet]:
+        """Look at the oldest packet without removing it."""
+        return self._queue[0] if self._queue else None
+
+    def clear(self) -> int:
+        """Discard everything queued; returns the number of packets discarded."""
+        discarded = len(self._queue)
+        self._queue.clear()
+        self._bytes = 0
+        return discarded

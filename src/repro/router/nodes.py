@@ -1,0 +1,314 @@
+"""Node classes: hosts and border routers.
+
+Only two kinds of node speak AITF (Section II-C): end-hosts and border
+routers.  Internal routers do not participate, so the simulator does not
+model them — a multi-hop AD interior is folded into the latency of the links
+between border routers.
+
+:class:`NetworkNode` carries everything common to both: attached links, a
+static routing table, local delivery and disconnection state.
+:class:`Host` adds a single address, applications (receive callbacks) and a
+default gateway.  :class:`BorderRouter` adds the data-plane pipeline every
+forwarded packet goes through:
+
+    ingress filter -> wire-speed filter table -> route-record stamp -> route lookup -> link
+
+The AITF protocol engine (:mod:`repro.core`) attaches to these nodes via the
+``control_handler`` and ``forward_observers`` hooks rather than subclassing,
+so the same node classes also serve the Pushback and manual-filtering
+baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set, Union
+
+from repro.net.address import IPAddress, Prefix
+from repro.net.link import Link
+from repro.net.packet import Packet, PacketKind
+from repro.router.filter_table import FilterTable
+from repro.router.ingress import IngressFilter
+from repro.router.routing import RoutingTable
+from repro.sim.engine import Simulator
+
+PacketCallback = Callable[[Packet], None]
+ForwardObserver = Callable[[Packet, Link], None]
+ControlHandler = Callable[[Packet, Link], None]
+
+
+@dataclass
+class NodeStats:
+    """Per-node packet counters."""
+
+    packets_received: int = 0
+    packets_forwarded: int = 0
+    packets_delivered: int = 0
+    packets_originated: int = 0
+    packets_dropped_filter: int = 0
+    packets_dropped_ingress: int = 0
+    packets_dropped_no_route: int = 0
+    packets_dropped_disconnected: int = 0
+    packets_dropped_ttl: int = 0
+    bytes_received: int = 0
+    bytes_delivered: int = 0
+
+
+class NetworkNode:
+    """Base class for every simulated node."""
+
+    def __init__(self, sim: Simulator, name: str, network: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        #: The AITF network (Autonomous Domain) this node belongs to.
+        self.network = network or name
+        self.links: List[Link] = []
+        self.routing = RoutingTable(name)
+        self.stats = NodeStats()
+        self.addresses: Set[IPAddress] = set()
+        #: Links this node has administratively disconnected (Section II-C
+        #: escalation endgame: "G_gw3 disconnects from B_gw3").
+        self.disconnected_links: Set[int] = set()
+        #: Invoked for control (AITF/pushback) packets addressed to this node.
+        self.control_handler: Optional[ControlHandler] = None
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach_link(self, link: Link) -> None:
+        """Register a link terminating at this node (topology builders call this)."""
+        if link not in self.links:
+            self.links.append(link)
+
+    def add_address(self, address: Union[str, IPAddress]) -> IPAddress:
+        """Register an address owned by this node."""
+        address = IPAddress.parse(address)
+        self.addresses.add(address)
+        return address
+
+    def owns_address(self, address: Union[str, IPAddress]) -> bool:
+        """True when ``address`` belongs to this node."""
+        return IPAddress.parse(address) in self.addresses
+
+    @property
+    def address(self) -> IPAddress:
+        """The node's primary address (first registered)."""
+        if not self.addresses:
+            raise RuntimeError(f"node {self.name} has no address assigned")
+        return min(self.addresses)
+
+    def link_to(self, neighbor: "NetworkNode") -> Optional[Link]:
+        """The direct link to ``neighbor``, if one exists."""
+        for link in self.links:
+            if link.other_end(self) is neighbor:
+                return link
+        return None
+
+    # ------------------------------------------------------------------
+    # disconnection
+    # ------------------------------------------------------------------
+    def disconnect_link(self, link: Link) -> None:
+        """Stop using ``link`` entirely (the AITF escalation endgame)."""
+        self.disconnected_links.add(id(link))
+
+    def reconnect_link(self, link: Link) -> None:
+        """Undo :meth:`disconnect_link`."""
+        self.disconnected_links.discard(id(link))
+
+    def is_disconnected(self, link: Link) -> bool:
+        """True when this node refuses traffic over ``link``."""
+        return id(link) in self.disconnected_links
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+    def receive_packet(self, packet: Packet, link: Link) -> None:
+        """Entry point called by links delivering a packet to this node."""
+        self.stats.packets_received += 1
+        self.stats.bytes_received += packet.size
+        if self.is_disconnected(link):
+            self.stats.packets_dropped_disconnected += 1
+            return
+        self.handle_packet(packet, link)
+
+    def handle_packet(self, packet: Packet, link: Link) -> None:
+        """Dispatch an accepted packet.  Subclasses refine this."""
+        if self.owns_address(packet.dst):
+            self.deliver_locally(packet, link)
+        else:
+            self.forward_packet(packet, link)
+
+    def deliver_locally(self, packet: Packet, link: Optional[Link]) -> None:
+        """The packet is addressed to this node."""
+        self.stats.packets_delivered += 1
+        self.stats.bytes_delivered += packet.size
+        if packet.is_control and self.control_handler is not None:
+            self.control_handler(packet, link)
+
+    def forward_packet(self, packet: Packet, incoming: Optional[Link]) -> None:
+        """Route a transit packet toward its destination."""
+        packet.ttl -= 1
+        if packet.ttl <= 0:
+            self.stats.packets_dropped_ttl += 1
+            return
+        out_link = self.routing.next_link(packet.dst)
+        if out_link is None:
+            self.stats.packets_dropped_no_route += 1
+            return
+        if self.is_disconnected(out_link):
+            self.stats.packets_dropped_disconnected += 1
+            return
+        self.stats.packets_forwarded += 1
+        out_link.send(packet, self)
+
+    # ------------------------------------------------------------------
+    # send path
+    # ------------------------------------------------------------------
+    def originate_packet(self, packet: Packet) -> bool:
+        """Send a packet created by this node."""
+        packet.created_at = self.sim.now
+        self.stats.packets_originated += 1
+        out_link = self.routing.next_link(packet.dst)
+        if out_link is None or self.is_disconnected(out_link):
+            self.stats.packets_dropped_no_route += 1
+            return False
+        return out_link.send(packet, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.name})"
+
+
+class Host(NetworkNode):
+    """An end-host: one address, a default gateway, and applications on top."""
+
+    def __init__(self, sim: Simulator, name: str, address: Union[str, IPAddress],
+                 network: str = "") -> None:
+        super().__init__(sim, name, network)
+        self.add_address(address)
+        self._receive_callbacks: List[PacketCallback] = []
+        #: Optional outbound guard installed by the AITF host agent: a
+        #: cooperative attacker stops its own undesired flows by dropping
+        #: them here before they reach the access link (Section IV-D — the
+        #: client needs na = R2*T filters of its own).
+        self.outbound_guard: Optional[Callable[[Packet], bool]] = None
+        self.stats_outbound_suppressed = 0
+
+    def on_receive(self, callback: PacketCallback) -> None:
+        """Register an application callback invoked for every delivered data packet."""
+        self._receive_callbacks.append(callback)
+
+    def set_gateway(self, link: Link) -> None:
+        """Point the default route at the access link."""
+        self.routing.set_default(link)
+
+    def deliver_locally(self, packet: Packet, link: Optional[Link]) -> None:
+        super().deliver_locally(packet, link)
+        if not packet.is_control:
+            for callback in self._receive_callbacks:
+                callback(packet)
+
+    def send(self, packet: Packet) -> bool:
+        """Convenience wrapper used by traffic generators.
+
+        Data packets pass the outbound guard first (control packets always
+        go out, otherwise a host that filtered itself could never send or
+        answer AITF messages).
+        """
+        if not packet.is_control and self.outbound_guard is not None:
+            if not self.outbound_guard(packet):
+                self.stats_outbound_suppressed += 1
+                return False
+        return self.originate_packet(packet)
+
+
+class BorderRouter(NetworkNode):
+    """A border router: the only kind of router that participates in AITF.
+
+    The forwarding pipeline applied to every transit data packet is::
+
+        disconnection check -> ingress filter -> filter table -> route-record
+        stamp -> forward observers -> routing -> output link
+
+    Control packets addressed to the router bypass the filter table (a router
+    must keep receiving filtering requests even while it is blocking the
+    corresponding data flow) but are still subject to contract policing in
+    the protocol layer.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        address: Union[str, IPAddress],
+        network: str = "",
+        *,
+        filter_capacity: Optional[int] = 1000,
+        ingress_enforce: bool = False,
+    ) -> None:
+        super().__init__(sim, name, network)
+        self.add_address(address)
+        self.filter_table = FilterTable(
+            capacity=filter_capacity, clock=lambda: self.sim.now, name=name
+        )
+        self.ingress = IngressFilter(enforce=ingress_enforce, name=name)
+        #: Observers see every data packet the router is about to forward
+        #: (after filtering); the AITF victim-gateway agent uses this for
+        #: on-off detection against its shadow cache.
+        self.forward_observers: List[ForwardObserver] = []
+        #: Border routers stamp the route-record shim unless disabled (the
+        #: probabilistic-traceback ablation turns this off).
+        self.stamp_route_record = True
+        #: Traffic conditioners run after the filter table and may drop the
+        #: packet by returning False; the Pushback baseline installs its
+        #: aggregate rate-limiters here.
+        self.conditioners: List[Callable[[Packet, Link], bool]] = []
+        #: Prefixes served by this router's AD (used by topology builders and
+        #: by the protocol layer to tell "my client" from "transit").
+        self.local_prefixes: List[Prefix] = []
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def add_local_prefix(self, prefix: Union[str, Prefix]) -> Prefix:
+        """Declare a prefix as belonging to this router's own network."""
+        prefix = Prefix.parse(prefix)
+        self.local_prefixes.append(prefix)
+        return prefix
+
+    def serves_address(self, address: Union[str, IPAddress]) -> bool:
+        """True when ``address`` is inside one of this router's local prefixes."""
+        address = IPAddress.parse(address)
+        return any(prefix.contains(address) for prefix in self.local_prefixes)
+
+    def add_forward_observer(self, observer: ForwardObserver) -> None:
+        """Register a hook called for every data packet about to be forwarded."""
+        self.forward_observers.append(observer)
+
+    # ------------------------------------------------------------------
+    # pipeline
+    # ------------------------------------------------------------------
+    def handle_packet(self, packet: Packet, link: Link) -> None:
+        if self.owns_address(packet.dst):
+            self.deliver_locally(packet, link)
+            return
+        if packet.is_control:
+            # Control traffic is forwarded without data-plane filtering so a
+            # victim can always reach its gateway, and gateways each other.
+            self.forward_packet(packet, link)
+            return
+        if not self.ingress.check(packet, link):
+            self.stats.packets_dropped_ingress += 1
+            return
+        blocking = self.filter_table.blocks(packet)
+        if blocking is not None:
+            self.stats.packets_dropped_filter += 1
+            return
+        for conditioner in self.conditioners:
+            if not conditioner(packet, link):
+                self.stats.packets_dropped_filter += 1
+                return
+        if self.stamp_route_record:
+            packet.stamp_route(self.name)
+        for observer in self.forward_observers:
+            observer(packet, link)
+        self.forward_packet(packet, link)

@@ -1,0 +1,97 @@
+"""Token-bucket policing of filtering-request rates.
+
+Filtering contracts (Section II-A) specify the rates R1 and R2 at which two
+parties may exchange filtering requests; "the limited rates allow the
+receiving router to police the requests to the specified rates and
+indiscriminately drop requests when the rate is in excess" (Section II-B).
+A token bucket is the standard policer for exactly that job, and it is also
+reused to rate-limit aggregates in the Pushback baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+
+class TokenBucket:
+    """A classic token bucket.
+
+    Parameters
+    ----------
+    rate:
+        Tokens added per second (the contracted request rate, or a byte rate
+        when policing traffic).
+    burst:
+        Bucket depth.  Defaults to one second's worth of tokens, which lets a
+        well-behaved sender catch up after a quiet period without letting it
+        exceed the contract over any window longer than a second.
+    clock:
+        Zero-argument callable returning current simulation time.
+    """
+
+    def __init__(self, rate: float, burst: Optional[float] = None,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        if rate <= 0:
+            raise ValueError(f"token bucket rate must be positive, got {rate}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate)
+        if self.burst <= 0:
+            raise ValueError(f"token bucket burst must be positive, got {self.burst}")
+        self._clock = clock or (lambda: 0.0)
+        self._tokens = self.burst
+        self._last_refill = self._clock()
+        # statistics
+        self.accepted = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def tokens(self) -> float:
+        """Current token count (after refilling to now)."""
+        self._refill()
+        return self._tokens
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of offered requests that were policed away."""
+        offered = self.accepted + self.rejected
+        return self.rejected / offered if offered else 0.0
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def allow(self, cost: float = 1.0) -> bool:
+        """Consume ``cost`` tokens if available; False means the item is policed."""
+        if cost <= 0:
+            raise ValueError(f"cost must be positive, got {cost}")
+        self._refill()
+        if self._tokens >= cost:
+            self._tokens -= cost
+            self.accepted += 1
+            return True
+        self.rejected += 1
+        return False
+
+    def would_allow(self, cost: float = 1.0) -> bool:
+        """Check without consuming."""
+        self._refill()
+        return self._tokens >= cost
+
+    def reset(self) -> None:
+        """Refill the bucket to full and clear counters."""
+        self._tokens = self.burst
+        self._last_refill = self._clock()
+        self.accepted = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._last_refill = now

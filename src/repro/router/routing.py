@@ -1,0 +1,99 @@
+"""Static longest-prefix-match routing.
+
+Routing in the reproduction is deliberately static: topology builders compute
+shortest paths once (BGP convergence is out of scope for the paper) and
+install prefix routes on every node.  The table supports a default route so
+stub networks can simply point "everything else" at their provider, which is
+how real enterprise networks in the paper's Figure 1 are wired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.net.address import IPAddress, Prefix
+
+
+@dataclass
+class Route:
+    """One routing entry: a destination prefix and the link to forward over."""
+
+    prefix: Prefix
+    link: object  # repro.net.link.Link; kept untyped to avoid an import cycle
+    metric: int = 0
+
+    def matches(self, destination: IPAddress) -> bool:
+        """True when ``destination`` falls inside the route's prefix."""
+        return self.prefix.contains(destination)
+
+
+class RoutingTable:
+    """Longest-prefix-match forwarding table."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._routes: List[Route] = []
+        self._default: Optional[Route] = None
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+    def add_route(self, prefix: Union[str, Prefix], link, metric: int = 0) -> Route:
+        """Add (or replace) a route for ``prefix`` via ``link``."""
+        prefix = Prefix.parse(prefix)
+        self._routes = [r for r in self._routes if r.prefix != prefix]
+        route = Route(prefix=prefix, link=link, metric=metric)
+        self._routes.append(route)
+        # Keep routes sorted longest-prefix-first so lookup is a linear scan
+        # that stops at the first match.
+        self._routes.sort(key=lambda r: (-r.prefix.length, r.metric))
+        return route
+
+    def set_default(self, link, metric: int = 0) -> Route:
+        """Install a default route (0.0.0.0/0) via ``link``."""
+        self._default = Route(prefix=Prefix.parse("0.0.0.0/0"), link=link, metric=metric)
+        return self._default
+
+    def remove_route(self, prefix: Union[str, Prefix]) -> bool:
+        """Remove the route for exactly ``prefix``.  Returns True if it existed."""
+        prefix = Prefix.parse(prefix)
+        before = len(self._routes)
+        self._routes = [r for r in self._routes if r.prefix != prefix]
+        return len(self._routes) != before
+
+    def clear(self) -> None:
+        """Remove every route, including the default."""
+        self._routes.clear()
+        self._default = None
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def lookup(self, destination: Union[str, IPAddress]) -> Optional[Route]:
+        """Longest-prefix-match lookup; falls back to the default route."""
+        destination = IPAddress.parse(destination)
+        for route in self._routes:
+            if route.matches(destination):
+                return route
+        return self._default
+
+    def next_link(self, destination: Union[str, IPAddress]):
+        """The link to forward a packet for ``destination`` over, or None."""
+        route = self.lookup(destination)
+        return route.link if route is not None else None
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def routes(self) -> List[Route]:
+        """All explicit routes (excludes the default)."""
+        return list(self._routes)
+
+    @property
+    def default_route(self) -> Optional[Route]:
+        """The installed default route, if any."""
+        return self._default
+
+    def __len__(self) -> int:
+        return len(self._routes) + (1 if self._default else 0)

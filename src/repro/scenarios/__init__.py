@@ -1,0 +1,30 @@
+"""Pre-wired end-to-end scenarios shared by the examples and the benchmarks.
+
+* :class:`FloodDefenseScenario` — one flood, one victim, Figure 1 topology;
+  the scenario behind the effective-bandwidth, goodput and escalation
+  experiments.
+* :class:`OnOffScenario` — the on-off attacker behind a non-cooperating
+  gateway; exercises the shadow cache and escalation.
+* :class:`VictimGatewayResourceScenario` / :class:`AttackerGatewayResourceScenario`
+  — request-rate driven resource measurements behind the Section IV formulas.
+"""
+
+from repro.scenarios.flood_defense import FloodDefenseResult, FloodDefenseScenario
+from repro.scenarios.onoff import OnOffResult, OnOffScenario
+from repro.scenarios.resources import (
+    AttackerGatewayResourceScenario,
+    AttackerResourceResult,
+    VictimGatewayResourceScenario,
+    VictimResourceResult,
+)
+
+__all__ = [
+    "FloodDefenseScenario",
+    "FloodDefenseResult",
+    "OnOffScenario",
+    "OnOffResult",
+    "VictimGatewayResourceScenario",
+    "VictimResourceResult",
+    "AttackerGatewayResourceScenario",
+    "AttackerResourceResult",
+]

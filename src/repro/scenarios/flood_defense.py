@@ -1,0 +1,181 @@
+"""The canonical flood-defense scenario on the Figure 1 topology.
+
+One bad host floods one good host; legitimate traffic shares the victim's
+tail circuit.  The scenario wires up the topology, the AITF deployment, the
+detector, the traffic and the meters, runs the simulation, and returns the
+numbers the paper's claims are about: how fast the flood was blocked, how
+much of it leaked through (effective bandwidth), how far escalation had to
+go, and how much legitimate goodput survived.
+
+Every experiment knob is a constructor parameter so benchmarks can sweep
+detection delay (Td), the victim-gateway delay (Tr), the filter timeout (T),
+and which attacker-side nodes refuse to cooperate (n).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import FlowMeter, GoodputMeter, OccupancySampler
+from repro.attacks.flood import FloodAttack
+from repro.attacks.legitimate import LegitimateTraffic
+from repro.core.config import AITFConfig
+from repro.core.deployment import AITFDeployment, deploy_aitf
+from repro.core.detection import ExplicitDetector
+from repro.core.events import EventType
+from repro.net.flowlabel import FlowLabel
+from repro.topology.figure1 import Figure1Topology, build_figure1
+
+
+@dataclass
+class FloodDefenseResult:
+    """Everything the flood-defense experiments report."""
+
+    duration: float
+    attack_offered_bps: float
+    attack_received_bps: float
+    effective_bandwidth_ratio: float
+    legit_offered_bps: float
+    legit_goodput_bps: float
+    time_to_first_block: Optional[float]
+    time_to_attacker_gateway_filter: Optional[float]
+    escalation_rounds: int
+    disconnections: int
+    victim_gateway_peak_filters: float
+    attacker_gateway_peak_filters: float
+    requests_sent_by_victim: int
+
+    @property
+    def legit_delivery_ratio(self) -> float:
+        """Fraction of offered legitimate traffic delivered."""
+        if self.legit_offered_bps <= 0:
+            return 0.0
+        return min(1.0, self.legit_goodput_bps / self.legit_offered_bps)
+
+
+class FloodDefenseScenario:
+    """A single flood against a single victim, with or without AITF."""
+
+    def __init__(
+        self,
+        *,
+        aitf_enabled: bool = True,
+        config: Optional[AITFConfig] = None,
+        attack_rate_pps: float = 1500.0,
+        attack_packet_size: int = 1000,
+        attack_start: float = 0.5,
+        legit_rate_pps: float = 400.0,
+        detection_delay: float = 0.1,
+        victim_gateway_delay: float = 0.001,
+        tail_circuit_bandwidth: float = 10e6,
+        non_cooperating: Sequence[str] = ("B_host",),
+        disconnection_enabled: bool = False,
+        filter_capacity: int = 1000,
+    ) -> None:
+        self.config = config or AITFConfig()
+        self.aitf_enabled = aitf_enabled
+        self.attack_start = attack_start
+        self.detection_delay = detection_delay
+        self.figure1: Figure1Topology = build_figure1(
+            tail_circuit_bandwidth=tail_circuit_bandwidth,
+            victim_gateway_delay=victim_gateway_delay,
+            filter_capacity=filter_capacity,
+            extra_good_hosts=1,
+        )
+        self.sim = self.figure1.sim
+        topo = self.figure1
+
+        self.deployment: Optional[AITFDeployment] = None
+        self.detector: Optional[ExplicitDetector] = None
+        if aitf_enabled:
+            self.deployment = deploy_aitf(topo.all_nodes(), self.config)
+            self.deployment.set_disconnection_enabled(disconnection_enabled)
+            for name in non_cooperating:
+                self.deployment.set_cooperative(name, False)
+            victim_agent = self.deployment.host_agent("G_host")
+            self.detector = ExplicitDetector(victim_agent,
+                                             detection_delay=detection_delay)
+            self.detector.mark_undesired(topo.b_host.address)
+
+        # Attack traffic: B_host floods G_host.
+        self.attack = FloodAttack(
+            topo.b_host, topo.g_host.address,
+            rate_pps=attack_rate_pps, packet_size=attack_packet_size,
+            start_time=attack_start,
+        )
+        if self.deployment is not None:
+            attacker_agent = self.deployment.host_agent("B_host")
+            attacker_agent.on_stop_request(self.attack.stop_flow_callback)
+
+        # Legitimate traffic: the extra good host talks to G_host over the
+        # same tail circuit (this is the goodput that matters).
+        legit_sender = topo.topology.node("G_host2")
+        self.legit = LegitimateTraffic(
+            legit_sender, topo.g_host.address,
+            rate_pps=legit_rate_pps, packet_size=1000, start_time=0.0,
+        )
+        self.legit.attach_receiver(topo.g_host)
+
+        # Meters.
+        self.attack_meter = FlowMeter(topo.g_host, self.attack.flow_label)
+        self.goodput_meter = GoodputMeter(topo.g_host)
+        self.victim_gw_occupancy = OccupancySampler(
+            self.sim, lambda: topo.g_gw1.filter_table.occupancy,
+            name="G_gw1-filters",
+        )
+        self.attacker_gw_occupancy = OccupancySampler(
+            self.sim, lambda: topo.b_gw1.filter_table.occupancy,
+            name="B_gw1-filters",
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, duration: float = 10.0) -> FloodDefenseResult:
+        """Run the scenario for ``duration`` simulated seconds and report."""
+        topo = self.figure1
+        self.legit.start()
+        self.attack.start()
+        self.victim_gw_occupancy.start()
+        self.attacker_gw_occupancy.start()
+        self.sim.run(until=duration)
+
+        attack_window = (self.attack_start, duration)
+        attack_received = self.attack_meter.received_bps(*attack_window)
+        offered = self.attack.offered_rate_bps
+        log = self.deployment.event_log if self.deployment else None
+
+        time_to_first_block = None
+        time_to_attacker_gw = None
+        escalations = 0
+        disconnections = 0
+        requests_sent = 0
+        if log is not None:
+            first_temp = log.first(EventType.TEMP_FILTER_INSTALLED, node="G_gw1")
+            if first_temp is not None:
+                time_to_first_block = first_temp.time - self.attack_start
+            first_remote = log.first(EventType.FILTER_INSTALLED)
+            if first_remote is not None:
+                time_to_attacker_gw = first_remote.time - self.attack_start
+            escalations = log.max_round()
+            disconnections = log.count(EventType.DISCONNECTION)
+            requests_sent = len([
+                e for e in log.of_type(EventType.REQUEST_SENT) if e.node == "G_host"
+            ])
+
+        return FloodDefenseResult(
+            duration=duration,
+            attack_offered_bps=offered,
+            attack_received_bps=attack_received,
+            effective_bandwidth_ratio=(attack_received / offered) if offered else 0.0,
+            legit_offered_bps=self.legit.offered_rate_bps,
+            legit_goodput_bps=self.goodput_meter.goodput_bps(self.attack_start, duration),
+            time_to_first_block=time_to_first_block,
+            time_to_attacker_gateway_filter=time_to_attacker_gw,
+            escalation_rounds=escalations,
+            disconnections=disconnections,
+            victim_gateway_peak_filters=self.victim_gw_occupancy.peak,
+            attacker_gateway_peak_filters=self.attacker_gw_occupancy.peak,
+            requests_sent_by_victim=requests_sent,
+        )

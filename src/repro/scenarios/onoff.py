@@ -1,0 +1,120 @@
+"""On-off attack scenario (Section II-B / IV-A.1 with n >= 1).
+
+The attacker's gateway refuses to cooperate, so the attacker can try the
+on-off game: burst, go quiet until the victim's gateway drops its temporary
+filter, burst again.  The victim's gateway's DRAM shadow cache is what keeps
+the effective bandwidth bounded; escalation pushes the filter one AITF node
+closer to the core each time the flow reappears.
+
+The scenario exposes the shadow cache as a switch so the ablation benchmark
+can show what happens without it (the paper's justification for spending the
+DRAM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.metrics import FlowMeter
+from repro.attacks.onoff import OnOffAttack
+from repro.core.config import AITFConfig
+from repro.core.deployment import AITFDeployment, deploy_aitf
+from repro.core.detection import ExplicitDetector
+from repro.core.events import EventType
+from repro.topology.figure1 import Figure1Topology, build_figure1
+
+
+@dataclass
+class OnOffResult:
+    """What the on-off experiments report."""
+
+    duration: float
+    offered_bps: float
+    received_bps: float
+    effective_bandwidth_ratio: float
+    shadow_hits: int
+    escalation_rounds: int
+    attack_cycles: int
+    packets_sent: int
+    packets_received: int
+
+
+class OnOffScenario:
+    """An on-off attacker behind a non-cooperating gateway."""
+
+    def __init__(
+        self,
+        *,
+        config: Optional[AITFConfig] = None,
+        attack_rate_pps: float = 1000.0,
+        on_duration: Optional[float] = None,
+        off_duration: Optional[float] = None,
+        detection_delay: float = 0.05,
+        non_cooperating: Sequence[str] = ("B_host", "B_gw1"),
+        shadow_enabled: bool = True,
+    ) -> None:
+        self.config = config or AITFConfig(
+            filter_timeout=30.0, temporary_filter_timeout=0.5,
+            attacker_grace_period=1.0,
+        )
+        ttmp = self.config.temporary_filter_timeout
+        # The attacker's best cadence hugs the temporary-filter lifetime: stop
+        # early enough that the victim's gateway believes the attacker's
+        # gateway took over (the flow must look dead by the time the gateway
+        # re-checks), stay silent until the temporary filter has lapsed, then
+        # resume.
+        self.on_duration = on_duration if on_duration is not None else ttmp * 0.5
+        self.off_duration = off_duration if off_duration is not None else ttmp * 1.5
+
+        self.figure1: Figure1Topology = build_figure1()
+        self.sim = self.figure1.sim
+        self.deployment: AITFDeployment = deploy_aitf(self.figure1.all_nodes(), self.config)
+        self.deployment.set_disconnection_enabled(False)
+        for name in non_cooperating:
+            self.deployment.set_cooperative(name, False)
+        if not shadow_enabled:
+            # Ablation: a victim's gateway that forgets requests as soon as its
+            # temporary filter expires cannot tell a reappearing flow from a
+            # new one.
+            self.deployment.gateway_agent("G_gw1").shadow_cache.capacity = 1
+            self.deployment.gateway_agent("G_gw1").shadow_cache.clear()
+            self.deployment.gateway_agent("G_gw1").config = self.config.with_overrides(
+                shadow_timeout=1e-3,
+            )
+
+        victim_agent = self.deployment.host_agent("G_host")
+        self.detector = ExplicitDetector(victim_agent, detection_delay=detection_delay)
+        self.detector.mark_undesired(self.figure1.b_host.address)
+
+        self.attack = OnOffAttack(
+            self.figure1.b_host, self.figure1.g_host.address,
+            rate_pps=attack_rate_pps,
+            on_duration=self.on_duration,
+            off_duration=self.off_duration,
+            start_time=0.2,
+        )
+        self.meter = FlowMeter(self.figure1.g_host, self.attack.flow_label)
+
+    def run(self, duration: float = 20.0) -> OnOffResult:
+        """Run for ``duration`` simulated seconds and report."""
+        self.attack.start()
+        self.sim.run(until=duration)
+        log = self.deployment.event_log
+        offered = self.attack.offered_rate_bps
+        # The attack only offers traffic during on-phases; scale the offered
+        # rate by the duty cycle so the ratio compares like with like.
+        duty_cycle = self.on_duration / (self.on_duration + self.off_duration)
+        offered_average = offered * duty_cycle
+        received = self.meter.received_bps(0.2, duration)
+        return OnOffResult(
+            duration=duration,
+            offered_bps=offered_average,
+            received_bps=received,
+            effective_bandwidth_ratio=(received / offered_average) if offered_average else 0.0,
+            shadow_hits=log.count(EventType.SHADOW_HIT),
+            escalation_rounds=log.max_round(),
+            attack_cycles=self.attack.cycles_completed,
+            packets_sent=self.attack.packets_sent,
+            packets_received=self.meter.packets,
+        )

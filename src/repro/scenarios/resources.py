@@ -1,0 +1,208 @@
+"""Router-resource scenarios (Sections IV-A.2 through IV-D).
+
+These scenarios drive a provider's gateway with a sustained stream of
+filtering requests and measure what the paper's formulas predict:
+
+* the victim's gateway absorbs requests at the contract rate R1 using only
+  nv = R1·Ttmp wire-speed filters and mv = R1·T shadow entries, while
+  protecting the client against Nv = R1·T simultaneous undesired flows;
+* the attacker's gateway (and the attacker itself) needs na = R2·T filters
+  to honour requests arriving at rate R2.
+
+Rather than simulate thousands of literal zombies (which would only slow the
+packet level down without changing the request arithmetic), the scenario
+synthesises distinct undesired flows from many remote sources and has the
+victim request blocks at a controlled rate — which is exactly the load the
+formulas are written in terms of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.metrics import OccupancySampler
+from repro.core.config import AITFConfig
+from repro.core.deployment import AITFDeployment, deploy_aitf
+from repro.core.events import EventType
+from repro.net.flowlabel import FlowLabel
+from repro.topology.tree import Dumbbell, build_dumbbell
+
+
+@dataclass
+class VictimResourceResult:
+    """Measured victim-gateway resource usage versus the Section IV-B formulas."""
+
+    request_rate: float
+    duration: float
+    requests_sent: int
+    requests_accepted: int
+    requests_policed: int
+    peak_filter_occupancy: float
+    peak_shadow_occupancy: float
+    predicted_filters: int
+    predicted_shadow_entries: int
+    predicted_protected_flows: int
+
+
+class VictimGatewayResourceScenario:
+    """Drive the victim's gateway at a configurable filtering-request rate."""
+
+    def __init__(
+        self,
+        *,
+        config: Optional[AITFConfig] = None,
+        request_rate: float = 100.0,
+        sources: int = 50,
+        cooperative_attacker_side: bool = True,
+    ) -> None:
+        self.config = config or AITFConfig(
+            filter_timeout=60.0, temporary_filter_timeout=0.6,
+            default_accept_rate=request_rate, default_send_rate=request_rate,
+        )
+        self.request_rate = request_rate
+        self.dumbbell: Dumbbell = build_dumbbell(sources=sources)
+        self.sim = self.dumbbell.sim
+        self.deployment: AITFDeployment = deploy_aitf(self.dumbbell.all_nodes(), self.config)
+        if not cooperative_attacker_side:
+            self.deployment.set_cooperative("source_gw", False)
+        self.victim_agent = self.deployment.host_agent("victim")
+        self.victim_gateway_agent = self.deployment.gateway_agent("victim_gw")
+        self.filter_sampler = OccupancySampler(
+            self.sim, lambda: self.dumbbell.victim_gateway.filter_table.occupancy,
+            period=0.05, name="victim_gw-filters",
+        )
+        self.shadow_sampler = OccupancySampler(
+            self.sim, lambda: self.victim_gateway_agent.shadow_cache.occupancy,
+            period=0.05, name="victim_gw-shadow",
+        )
+        self._request_count = 0
+        self._source_cycle = 0
+
+    # ------------------------------------------------------------------
+    # request generation
+    # ------------------------------------------------------------------
+    def _send_one_request(self) -> None:
+        """The victim requests a block against a fresh synthetic undesired flow."""
+        sources = self.dumbbell.sources
+        source = sources[self._source_cycle % len(sources)]
+        self._source_cycle += 1
+        # Distinct labels per request: rotate the destination port so each
+        # request occupies its own filter slot, like distinct zombie flows.
+        label = FlowLabel.between(
+            source.address, self.dumbbell.victim.address,
+            protocol="udp", dst_port=1024 + self._request_count % 60000,
+        )
+        attack_path = self.dumbbell.topology.border_router_path(
+            source, self.dumbbell.victim,
+        )
+        self.victim_agent.request_filtering(label, attack_path=attack_path)
+        self._request_count += 1
+
+    def run(self, duration: float = 5.0) -> VictimResourceResult:
+        """Issue requests at the configured rate for ``duration`` seconds and measure."""
+        interval = 1.0 / self.request_rate
+        count = int(duration * self.request_rate)
+        for index in range(count):
+            self.sim.call_at(index * interval, self._send_one_request,
+                             name="synthetic-request")
+        self.filter_sampler.start()
+        self.shadow_sampler.start()
+        self.sim.run(until=duration)
+        log = self.deployment.event_log
+        accepted = len([e for e in log.of_type(EventType.TEMP_FILTER_INSTALLED)
+                        if e.node == "victim_gw"])
+        policed = len([e for e in log.of_type(EventType.REQUEST_POLICED)
+                       if e.node == "victim_gw"])
+        return VictimResourceResult(
+            request_rate=self.request_rate,
+            duration=duration,
+            requests_sent=self._request_count,
+            requests_accepted=accepted,
+            requests_policed=policed,
+            peak_filter_occupancy=self.filter_sampler.peak,
+            peak_shadow_occupancy=self.shadow_sampler.peak,
+            predicted_filters=self.config.victim_gateway_filters(self.request_rate),
+            predicted_shadow_entries=self.config.victim_gateway_shadow_entries(self.request_rate),
+            predicted_protected_flows=self.config.protected_flows(self.request_rate),
+        )
+
+
+@dataclass
+class AttackerResourceResult:
+    """Measured attacker-side resource usage versus the Section IV-C/D formulas."""
+
+    request_rate: float
+    duration: float
+    requests_delivered: int
+    gateway_peak_filter_occupancy: float
+    attacker_host_peak_filter_occupancy: float
+    predicted_filters: int
+
+
+class AttackerGatewayResourceScenario:
+    """Drive the attacker's gateway with requests at rate R2 and measure filters."""
+
+    def __init__(
+        self,
+        *,
+        config: Optional[AITFConfig] = None,
+        request_rate: float = 1.0,
+        filter_timeout: float = 60.0,
+    ) -> None:
+        self.config = config or AITFConfig(
+            filter_timeout=filter_timeout,
+            temporary_filter_timeout=0.6,
+            default_accept_rate=max(100.0, request_rate * 2),
+            default_send_rate=max(100.0, request_rate * 2),
+            verification_enabled=False,
+        )
+        self.request_rate = request_rate
+        self.dumbbell: Dumbbell = build_dumbbell(sources=1)
+        self.sim = self.dumbbell.sim
+        self.deployment: AITFDeployment = deploy_aitf(self.dumbbell.all_nodes(), self.config)
+        self.victim_agent = self.deployment.host_agent("victim")
+        self.attacker_host = self.dumbbell.sources[0]
+        self.attacker_agent = self.deployment.host_agent(self.attacker_host.name)
+        self.gateway_sampler = OccupancySampler(
+            self.sim, lambda: self.dumbbell.source_gateway.filter_table.occupancy,
+            period=0.1, name="source_gw-filters",
+        )
+        self.host_sampler = OccupancySampler(
+            self.sim, lambda: self.attacker_agent.outbound_filters.occupancy,
+            period=0.1, name="attacker-host-filters",
+        )
+        self._request_count = 0
+
+    def _send_one_request(self) -> None:
+        label = FlowLabel.between(
+            self.attacker_host.address, self.dumbbell.victim.address,
+            protocol="udp", dst_port=1024 + self._request_count % 60000,
+        )
+        attack_path = self.dumbbell.topology.border_router_path(
+            self.attacker_host, self.dumbbell.victim,
+        )
+        self.victim_agent.request_filtering(label, attack_path=attack_path)
+        self._request_count += 1
+
+    def run(self, duration: float = 10.0) -> AttackerResourceResult:
+        """Issue requests at rate R2 for ``duration`` seconds and measure filters."""
+        interval = 1.0 / self.request_rate
+        count = int(duration * self.request_rate)
+        for index in range(count):
+            self.sim.call_at(index * interval, self._send_one_request,
+                             name="synthetic-request")
+        self.gateway_sampler.start()
+        self.host_sampler.start()
+        self.sim.run(until=duration)
+        log = self.deployment.event_log
+        delivered = len([e for e in log.of_type(EventType.FILTER_INSTALLED)
+                         if e.node == "source_gw"])
+        return AttackerResourceResult(
+            request_rate=self.request_rate,
+            duration=duration,
+            requests_delivered=delivered,
+            gateway_peak_filter_occupancy=self.gateway_sampler.peak,
+            attacker_host_peak_filter_occupancy=self.host_sampler.peak,
+            predicted_filters=self.config.attacker_side_filters(self.request_rate),
+        )

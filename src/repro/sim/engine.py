@@ -1,0 +1,207 @@
+"""Core discrete-event loop.
+
+The simulator is intentionally minimal: a binary heap of ``(time, seq,
+Event)`` entries and a virtual clock.  Determinism matters more than raw
+speed here because the benchmarks compare protocol variants, so ties are
+broken by insertion order (the ``seq`` counter) rather than by object
+identity.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulator is used incorrectly (e.g. scheduling in the past)."""
+
+
+@dataclass(order=False)
+class Event:
+    """A single scheduled callback.
+
+    Events are created through :meth:`Simulator.schedule` / :meth:`Simulator.call_at`
+    and can be cancelled before they fire.  A cancelled event stays in the heap
+    but is skipped by the event loop.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., None]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    name: str = ""
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still pending and not cancelled."""
+        return not self.cancelled
+
+    def fire(self) -> None:
+        """Invoke the callback (used by the event loop)."""
+        self.callback(*self.args, **self.kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        label = self.name or getattr(self.callback, "__name__", "callback")
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, {label}, {state})"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the virtual clock, in seconds.
+
+    Notes
+    -----
+    Time is a ``float`` number of seconds.  All latencies in the AITF
+    reproduction (one-way delays, grace periods, filter timeouts) are
+    expressed in the same unit, which keeps the Section IV formulas
+    directly comparable with simulation output.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events that have fired so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        name: str = "",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which the caller may cancel.
+        """
+        return self.call_at(self._now + delay, callback, *args, name=name, **kwargs)
+
+    def call_at(
+        self,
+        when: float,
+        callback: Callable[..., None],
+        *args: Any,
+        name: str = "",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``callback`` to fire at absolute time ``when``."""
+        if when < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event at t={when:.6f}, clock is already at t={self._now:.6f}"
+            )
+        when = max(when, self._now)
+        event = Event(time=when, seq=next(self._seq), callback=callback,
+                      args=args, kwargs=kwargs, name=name)
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        return event
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False when the heap is empty."""
+        while self._heap:
+            when, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = when
+            self._events_processed += 1
+            event.fire()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time.  Events scheduled at
+            exactly ``until`` still fire.  When omitted, run until the heap
+            drains.
+        max_events:
+            Safety valve for runaway simulations; stop after this many events.
+
+        Returns
+        -------
+        float
+            The clock value when the loop stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run() call)")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while self._heap and not self._stopped:
+                when, _, event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and when > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = when
+                self._events_processed += 1
+                event.fire()
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._stopped:
+            # Advance the clock to the requested horizon even if the heap drained.
+            self._now = until
+        return self._now
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    def drain(self) -> int:
+        """Cancel every pending event.  Returns the number of events cancelled."""
+        cancelled = 0
+        for _, _, event in self._heap:
+            if not event.cancelled:
+                event.cancel()
+                cancelled += 1
+        self._heap.clear()
+        return cancelled

@@ -1,0 +1,151 @@
+"""Timer and periodic-process helpers built on top of the event loop.
+
+Protocol state machines in :mod:`repro.core` need two recurring patterns:
+
+* a *restartable one-shot timer* (filter expiry, grace periods, handshake
+  timeouts), and
+* a *periodic process* (traffic generators emitting packets at a rate,
+  rate-counter resets).
+
+Both are thin wrappers over :class:`repro.sim.Simulator` so that protocol
+code never touches the event heap directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Event, Simulator
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    The timer is created idle; :meth:`start` arms it, :meth:`cancel` disarms
+    it, and :meth:`restart` re-arms it (cancelling any pending expiry).  When
+    the delay elapses the callback fires exactly once.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[..., None],
+                 *args: Any, name: str = "", **kwargs: Any) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._args = args
+        self._kwargs = kwargs
+        self._name = name
+        self._event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        """True while an expiry is pending."""
+        return self._event is not None and self._event.active
+
+    @property
+    def expires_at(self) -> Optional[float]:
+        """Absolute expiry time, or None when idle."""
+        if self.armed:
+            assert self._event is not None
+            return self._event.time
+        return None
+
+    def start(self, delay: float) -> None:
+        """Arm the timer to fire ``delay`` seconds from now.
+
+        Starting an already-armed timer restarts it.
+        """
+        self.cancel()
+        self._event = self._sim.schedule(delay, self._fire, name=self._name or "timer")
+
+    def restart(self, delay: float) -> None:
+        """Alias for :meth:`start`; reads better at call sites that always re-arm."""
+        self.start(delay)
+
+    def cancel(self) -> None:
+        """Disarm the timer if it is pending."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback(*self._args, **self._kwargs)
+
+
+class PeriodicProcess:
+    """Fires a callback every ``interval`` seconds until stopped.
+
+    The callback may return ``False`` to stop the process from within.
+    A ``max_ticks`` bound makes the process self-terminating, which traffic
+    generators use to emit a fixed number of packets.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], Any],
+        *,
+        start_delay: float = 0.0,
+        max_ticks: Optional[int] = None,
+        name: str = "",
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self._sim = sim
+        self._interval = float(interval)
+        self._callback = callback
+        self._max_ticks = max_ticks
+        self._name = name or "periodic"
+        self._ticks = 0
+        self._running = False
+        self._event: Optional[Event] = None
+        self._start_delay = float(start_delay)
+
+    @property
+    def ticks(self) -> int:
+        """Number of times the callback has fired."""
+        return self._ticks
+
+    @property
+    def running(self) -> bool:
+        """True while the process is scheduled to keep firing."""
+        return self._running
+
+    @property
+    def interval(self) -> float:
+        """Seconds between consecutive firings."""
+        return self._interval
+
+    def set_interval(self, interval: float) -> None:
+        """Change the firing period; takes effect at the next tick."""
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self._interval = float(interval)
+
+    def start(self) -> None:
+        """Begin firing.  The first tick happens after ``start_delay`` seconds."""
+        if self._running:
+            return
+        self._running = True
+        self._event = self._sim.schedule(self._start_delay, self._tick, name=self._name)
+
+    def stop(self) -> None:
+        """Stop firing.  A pending tick is cancelled."""
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._ticks += 1
+        keep_going = self._callback()
+        if keep_going is False:
+            self.stop()
+            return
+        if self._max_ticks is not None and self._ticks >= self._max_ticks:
+            self.stop()
+            return
+        if self._running:
+            self._event = self._sim.schedule(self._interval, self._tick, name=self._name)

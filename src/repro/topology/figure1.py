@@ -1,0 +1,150 @@
+"""The paper's Figure 1 topology.
+
+Two symmetric branches meet in the middle of the Internet:
+
+* the victim side — ``G_host`` in enterprise network ``G_net``, connected
+  through ``G_gw1`` to local ISP ``G_isp`` (border router ``G_gw2``), which
+  connects through ``G_gw3`` to wide-area ISP ``G_wan``;
+* the attacker side — ``B_host`` in ``B_net``, through ``B_gw1``, ``B_gw2``
+  (``B_isp``) and ``B_gw3`` (``B_wan``).
+
+The attack path from ``B_host`` to ``G_host`` crosses the border routers
+``B_gw1, B_gw2, B_gw3, G_gw3, G_gw2, G_gw1`` — so the attacker's gateway is
+``B_gw1`` and the victim's gateway is ``G_gw1``, exactly the roles the
+paper's Section II-D example walks through.
+
+The victim's access link (``G_gw1``–``G_host``) is the 10 Mbps tail circuit
+from the paper's introduction; everything closer to the core is faster, so a
+flood from the attacker side congests precisely that link unless a gateway
+filters it first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.net.link import Link
+from repro.router.nodes import BorderRouter, Host
+from repro.sim.engine import Simulator
+from repro.topology.base import (
+    ACCESS_DELAY,
+    BACKBONE_BANDWIDTH,
+    BACKBONE_DELAY,
+    REGIONAL_DELAY,
+    TAIL_CIRCUIT_BANDWIDTH,
+    Topology,
+)
+
+
+@dataclass
+class Figure1Topology:
+    """Handles to every node and the interesting links of the Figure 1 network."""
+
+    topology: Topology
+    g_host: Host
+    g_gw1: BorderRouter
+    g_gw2: BorderRouter
+    g_gw3: BorderRouter
+    b_host: Host
+    b_gw1: BorderRouter
+    b_gw2: BorderRouter
+    b_gw3: BorderRouter
+    tail_circuit: Link
+    attacker_access: Link
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulator every node of this topology runs on."""
+        return self.topology.sim
+
+    @property
+    def attack_path(self) -> Tuple[str, ...]:
+        """Border routers from the attacker to the victim (attacker's gateway first)."""
+        return self.topology.border_router_path(self.b_host, self.g_host)
+
+    def all_nodes(self):
+        """Every node, for handing to :func:`repro.core.deploy_aitf`."""
+        return self.topology.all_nodes()
+
+
+def build_figure1(
+    sim: Simulator = None,
+    *,
+    tail_circuit_bandwidth: float = TAIL_CIRCUIT_BANDWIDTH,
+    backbone_bandwidth: float = BACKBONE_BANDWIDTH,
+    victim_gateway_delay: float = ACCESS_DELAY,
+    filter_capacity: int = 1000,
+    extra_good_hosts: int = 0,
+    extra_bad_hosts: int = 0,
+) -> Figure1Topology:
+    """Build the Figure 1 topology.
+
+    Parameters
+    ----------
+    tail_circuit_bandwidth:
+        Capacity of the victim's access link (the paper's 10 Mbps example).
+    victim_gateway_delay:
+        One-way delay of the victim's access link — this is Tr in the
+        Section IV-A.1 formula, so benches sweep it.
+    extra_good_hosts / extra_bad_hosts:
+        Additional hosts attached to ``G_net`` / ``B_net``, used by the
+        goodput and multi-zombie experiments.
+    """
+    topo = Topology(sim)
+
+    g_net_prefix = topo.allocate_network_prefix(24)
+    b_net_prefix = topo.allocate_network_prefix(24)
+
+    g_host = topo.add_host("G_host", "G_net", prefix=g_net_prefix)
+    g_gw1 = topo.add_border_router("G_gw1", "G_net", filter_capacity=filter_capacity,
+                                   local_prefix=g_net_prefix)
+    g_gw2 = topo.add_border_router("G_gw2", "G_isp", filter_capacity=filter_capacity)
+    g_gw3 = topo.add_border_router("G_gw3", "G_wan", filter_capacity=filter_capacity)
+
+    b_host = topo.add_host("B_host", "B_net", prefix=b_net_prefix)
+    b_gw1 = topo.add_border_router("B_gw1", "B_net", filter_capacity=filter_capacity,
+                                   local_prefix=b_net_prefix)
+    b_gw2 = topo.add_border_router("B_gw2", "B_isp", filter_capacity=filter_capacity)
+    b_gw3 = topo.add_border_router("B_gw3", "B_wan", filter_capacity=filter_capacity)
+
+    tail_circuit = topo.connect(g_host, g_gw1,
+                                bandwidth_bps=tail_circuit_bandwidth,
+                                delay=victim_gateway_delay)
+    topo.connect(g_gw1, g_gw2, bandwidth_bps=backbone_bandwidth, delay=REGIONAL_DELAY)
+    topo.connect(g_gw2, g_gw3, bandwidth_bps=backbone_bandwidth, delay=REGIONAL_DELAY)
+    topo.connect(g_gw3, b_gw3, bandwidth_bps=backbone_bandwidth, delay=BACKBONE_DELAY)
+    topo.connect(b_gw3, b_gw2, bandwidth_bps=backbone_bandwidth, delay=REGIONAL_DELAY)
+    topo.connect(b_gw2, b_gw1, bandwidth_bps=backbone_bandwidth, delay=REGIONAL_DELAY)
+    attacker_access = topo.connect(b_gw1, b_host,
+                                   bandwidth_bps=backbone_bandwidth, delay=ACCESS_DELAY)
+
+    for index in range(extra_good_hosts):
+        host = topo.add_host(f"G_host{index + 2}", "G_net", prefix=g_net_prefix)
+        topo.connect(host, g_gw1, bandwidth_bps=tail_circuit_bandwidth,
+                     delay=victim_gateway_delay)
+    for index in range(extra_bad_hosts):
+        host = topo.add_host(f"B_host{index + 2}", "B_net", prefix=b_net_prefix)
+        topo.connect(host, b_gw1, bandwidth_bps=backbone_bandwidth, delay=ACCESS_DELAY)
+
+    # Ingress filtering policy at the edge routers: their clients may only
+    # source addresses from the enterprise prefixes (Section III-A).
+    g_gw1.ingress.allow(tail_circuit, g_net_prefix)
+    b_gw1.ingress.allow(attacker_access, b_net_prefix)
+    for host in topo.hosts():
+        access = host.links[0] if host.links else None
+        if access is None:
+            continue
+        gateway = access.other_end(host)
+        if isinstance(gateway, BorderRouter):
+            prefix = g_net_prefix if host.network == "G_net" else b_net_prefix
+            gateway.ingress.allow(access, prefix)
+
+    topo.build_routes()
+    return Figure1Topology(
+        topology=topo,
+        g_host=g_host, g_gw1=g_gw1, g_gw2=g_gw2, g_gw3=g_gw3,
+        b_host=b_host, b_gw1=b_gw1, b_gw2=b_gw2, b_gw3=b_gw3,
+        tail_circuit=tail_circuit,
+        attacker_access=attacker_access,
+    )

@@ -1,0 +1,190 @@
+"""Provider trees: one provider router serving many client networks.
+
+The resource experiments (E2–E5) and the capacity-planning example need a
+service provider with many clients so the per-contract formulas of Section IV
+add up across a realistic client population:
+
+* :func:`build_provider_tree` — a provider border router with N client
+  networks hanging off it, each with its own edge router and hosts; the
+  provider uplinks into a small core so attacks can come "from the Internet".
+* :func:`build_dumbbell` — many attacker hosts on one side, one victim on the
+  other, two gateways in between; the canonical many-zombie flood shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.net.link import Link
+from repro.router.nodes import BorderRouter, Host
+from repro.sim.engine import Simulator
+from repro.topology.base import (
+    ACCESS_BANDWIDTH,
+    ACCESS_DELAY,
+    BACKBONE_BANDWIDTH,
+    BACKBONE_DELAY,
+    REGIONAL_DELAY,
+    TAIL_CIRCUIT_BANDWIDTH,
+    Topology,
+)
+
+
+@dataclass
+class ProviderTree:
+    """A provider serving many client networks, plus an upstream core."""
+
+    topology: Topology
+    provider: BorderRouter
+    core: BorderRouter
+    remote_gateway: BorderRouter
+    remote_host: Host
+    client_routers: List[BorderRouter] = field(default_factory=list)
+    client_hosts: Dict[str, List[Host]] = field(default_factory=dict)
+
+    @property
+    def sim(self) -> Simulator:
+        """The shared simulator."""
+        return self.topology.sim
+
+    def all_nodes(self):
+        """Every node, for :func:`repro.core.deploy_aitf`."""
+        return self.topology.all_nodes()
+
+    def hosts_of(self, client_router: BorderRouter) -> List[Host]:
+        """The hosts behind one client edge router."""
+        return self.client_hosts.get(client_router.name, [])
+
+
+def build_provider_tree(
+    sim: Simulator = None,
+    *,
+    clients: int = 10,
+    hosts_per_client: int = 2,
+    filter_capacity: int = 1000,
+    client_bandwidth: float = TAIL_CIRCUIT_BANDWIDTH,
+) -> ProviderTree:
+    """Build a provider with ``clients`` stub networks and an upstream core.
+
+    The remote side (``remote_gw`` / ``remote_host``) sits across the core so
+    that traffic between clients and the outside world crosses the provider,
+    which is what makes the provider the victim's gateway for its clients and
+    the attacker's gateway for misbehaving ones.
+    """
+    if clients < 1:
+        raise ValueError("a provider tree needs at least one client")
+    topo = Topology(sim)
+
+    provider = topo.add_border_router("provider", "provider_isp",
+                                      filter_capacity=filter_capacity)
+    core = topo.add_border_router("core", "core_wan", filter_capacity=filter_capacity)
+    remote_gateway = topo.add_border_router("remote_gw", "remote_isp",
+                                            filter_capacity=filter_capacity)
+    remote_prefix = topo.allocate_network_prefix(24)
+    remote_gateway.add_local_prefix(remote_prefix)
+    remote_host = topo.add_host("remote_host", "remote_isp", prefix=remote_prefix)
+
+    topo.connect(provider, core, bandwidth_bps=BACKBONE_BANDWIDTH, delay=REGIONAL_DELAY)
+    topo.connect(core, remote_gateway, bandwidth_bps=BACKBONE_BANDWIDTH, delay=BACKBONE_DELAY)
+    topo.connect(remote_host, remote_gateway, bandwidth_bps=ACCESS_BANDWIDTH, delay=ACCESS_DELAY)
+
+    client_routers: List[BorderRouter] = []
+    client_hosts: Dict[str, List[Host]] = {}
+    for index in range(clients):
+        network = f"client{index}"
+        prefix = topo.allocate_network_prefix(24)
+        edge = topo.add_border_router(f"{network}_gw", network,
+                                      filter_capacity=filter_capacity,
+                                      local_prefix=prefix)
+        uplink = topo.connect(edge, provider, bandwidth_bps=client_bandwidth,
+                              delay=ACCESS_DELAY)
+        provider.ingress.allow(uplink, prefix)
+        hosts: List[Host] = []
+        for host_index in range(hosts_per_client):
+            host = topo.add_host(f"{network}_h{host_index}", network, prefix=prefix)
+            access = topo.connect(host, edge, bandwidth_bps=ACCESS_BANDWIDTH,
+                                  delay=ACCESS_DELAY)
+            edge.ingress.allow(access, prefix)
+            hosts.append(host)
+        client_routers.append(edge)
+        client_hosts[edge.name] = hosts
+
+    topo.build_routes()
+    return ProviderTree(
+        topology=topo,
+        provider=provider,
+        core=core,
+        remote_gateway=remote_gateway,
+        remote_host=remote_host,
+        client_routers=client_routers,
+        client_hosts=client_hosts,
+    )
+
+
+@dataclass
+class Dumbbell:
+    """Many sources on the left, one victim on the right, two gateways between."""
+
+    topology: Topology
+    victim: Host
+    victim_gateway: BorderRouter
+    source_gateway: BorderRouter
+    sources: List[Host] = field(default_factory=list)
+    tail_circuit: Link = None
+
+    @property
+    def sim(self) -> Simulator:
+        """The shared simulator."""
+        return self.topology.sim
+
+    def all_nodes(self):
+        """Every node, for :func:`repro.core.deploy_aitf`."""
+        return self.topology.all_nodes()
+
+
+def build_dumbbell(
+    sim: Simulator = None,
+    *,
+    sources: int = 10,
+    tail_circuit_bandwidth: float = TAIL_CIRCUIT_BANDWIDTH,
+    filter_capacity: int = 1000,
+) -> Dumbbell:
+    """Build a dumbbell: N source hosts -> source_gw -> victim_gw -> victim."""
+    if sources < 1:
+        raise ValueError("a dumbbell needs at least one source host")
+    topo = Topology(sim)
+
+    victim_prefix = topo.allocate_network_prefix(24)
+    source_prefix = topo.allocate_network_prefix(22)
+
+    victim_gateway = topo.add_border_router("victim_gw", "victim_net",
+                                            filter_capacity=filter_capacity,
+                                            local_prefix=victim_prefix)
+    source_gateway = topo.add_border_router("source_gw", "source_net",
+                                            filter_capacity=filter_capacity,
+                                            local_prefix=source_prefix)
+    victim = topo.add_host("victim", "victim_net", prefix=victim_prefix)
+
+    tail = topo.connect(victim, victim_gateway,
+                        bandwidth_bps=tail_circuit_bandwidth, delay=ACCESS_DELAY)
+    topo.connect(victim_gateway, source_gateway,
+                 bandwidth_bps=BACKBONE_BANDWIDTH, delay=REGIONAL_DELAY)
+    victim_gateway.ingress.allow(tail, victim_prefix)
+
+    source_hosts: List[Host] = []
+    for index in range(sources):
+        host = topo.add_host(f"src{index}", "source_net", prefix=source_prefix)
+        access = topo.connect(host, source_gateway,
+                              bandwidth_bps=ACCESS_BANDWIDTH, delay=ACCESS_DELAY)
+        source_gateway.ingress.allow(access, source_prefix)
+        source_hosts.append(host)
+
+    topo.build_routes()
+    return Dumbbell(
+        topology=topo,
+        victim=victim,
+        victim_gateway=victim_gateway,
+        source_gateway=source_gateway,
+        sources=source_hosts,
+        tail_circuit=tail,
+    )

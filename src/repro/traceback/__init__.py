@@ -1,0 +1,35 @@
+"""Traceback: identifying the attack path in the presence of source spoofing.
+
+AITF assumes (Section II-F) that the victim's gateway can determine who the
+attacker's gateway is and who the next AITF node on the attack path is, via
+"an efficient traceback technique" — either a route-record shim carried in
+every packet (the TRIAD architecture of [CG00], which makes traceback time
+zero, the case the paper's Ttmp example uses) or probabilistic IP traceback
+([SWKA00], reconstruction from marked packet samples).
+
+Both are implemented here so the Ttmp ablation (experiment E12) can compare
+them:
+
+* :class:`RouteRecordTraceback` — reads the shim border routers stamp on
+  every packet; path available from a single packet.
+* :class:`ProbabilisticTraceback` — edge-sampling marking at border routers
+  plus victim-side path reconstruction; needs many packets before the path
+  converges.
+"""
+
+from repro.traceback.route_record import RouteRecordTraceback
+from repro.traceback.edge_marking import (
+    EdgeMark,
+    MarkingRouterExtension,
+    ProbabilisticTraceback,
+)
+from repro.traceback.base import AttackPath, TracebackMechanism
+
+__all__ = [
+    "AttackPath",
+    "TracebackMechanism",
+    "RouteRecordTraceback",
+    "EdgeMark",
+    "MarkingRouterExtension",
+    "ProbabilisticTraceback",
+]

@@ -1,0 +1,96 @@
+"""Common traceback interfaces.
+
+A traceback mechanism answers one question for the AITF protocol layer:
+given the packets of an undesired flow observed at (or near) the victim,
+what is the ordered list of border routers the flow crossed?  From that
+:class:`AttackPath` the victim's gateway derives the attacker's gateway
+(the border router closest to the attacker) and, during escalation, the next
+AITF node up the path.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.net.packet import Packet
+
+
+@dataclass(frozen=True)
+class AttackPath:
+    """The ordered border routers an undesired flow crossed.
+
+    ``routers[0]`` is the attacker's gateway (closest to the attacker) and
+    ``routers[-1]`` is the victim's gateway.  ``confidence`` is 1.0 for exact
+    mechanisms (route record) and the fraction of reconstructed edges that
+    were corroborated for sampled mechanisms.
+    """
+
+    routers: Tuple[str, ...]
+    confidence: float = 1.0
+    packets_used: int = 1
+
+    @property
+    def attacker_gateway(self) -> Optional[str]:
+        """The AITF node closest to the attacker, or None when the path is empty."""
+        return self.routers[0] if self.routers else None
+
+    @property
+    def victim_gateway(self) -> Optional[str]:
+        """The AITF node closest to the victim, or None when the path is empty."""
+        return self.routers[-1] if self.routers else None
+
+    @property
+    def length(self) -> int:
+        """Number of border routers on the path."""
+        return len(self.routers)
+
+    def node_upstream_of(self, router_name: str) -> Optional[str]:
+        """The next border router closer to the attacker than ``router_name``.
+
+        Escalation (Section II-D) asks each round's victim-side gateway to
+        target the next attacker-side node one step further from the
+        attacker; this helper walks that direction.
+        """
+        try:
+            index = self.routers.index(router_name)
+        except ValueError:
+            return None
+        if index == 0:
+            return None
+        return self.routers[index - 1]
+
+    def node_downstream_of(self, router_name: str) -> Optional[str]:
+        """The next border router closer to the victim than ``router_name``."""
+        try:
+            index = self.routers.index(router_name)
+        except ValueError:
+            return None
+        if index + 1 >= len(self.routers):
+            return None
+        return self.routers[index + 1]
+
+    def __iter__(self):
+        return iter(self.routers)
+
+
+class TracebackMechanism(abc.ABC):
+    """Interface shared by the route-record shim and probabilistic traceback."""
+
+    @abc.abstractmethod
+    def observe(self, packet: Packet) -> None:
+        """Feed one packet of the (suspected) undesired flow to the mechanism."""
+
+    @abc.abstractmethod
+    def path_for(self, packet: Packet) -> Optional[AttackPath]:
+        """Best current estimate of the attack path for ``packet``'s flow.
+
+        Returns None while the mechanism has not yet converged (probabilistic
+        traceback needs a minimum number of marked samples).
+        """
+
+    @property
+    @abc.abstractmethod
+    def traceback_delay_packets(self) -> int:
+        """How many flow packets the mechanism needs before a path is available."""

@@ -1,0 +1,143 @@
+"""Probabilistic edge-marking traceback (the [SWKA00] baseline).
+
+The paper cites Savage et al.'s probabilistic packet marking as the other
+way a victim's gateway can learn the attack path.  The mechanism:
+
+* Each border router, with probability ``p`` per forwarded packet, writes an
+  *edge mark* into the packet: either (start=me, distance=0), or — if the
+  packet already carries a fresh mark with distance 0 — completes the edge
+  (start, end=me) and increments the distance; routers that do not mark an
+  already-marked packet just increment its distance.
+* The victim collects marks across many attack packets and reconstructs the
+  router path by ordering edges by distance.
+
+Compared to the route-record shim, reconstruction needs on the order of
+``1/(p * (1-p)^(d-1))`` packets per edge at distance ``d``, which is the
+traceback-delay cost experiment E12 quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.net.packet import Packet
+from repro.sim.randomness import SeededRandom
+from repro.traceback.base import AttackPath, TracebackMechanism
+
+
+@dataclass
+class EdgeMark:
+    """The mark a router writes into a packet (stored in packet metadata)."""
+
+    start: str
+    end: str = ""
+    distance: int = 0
+
+
+class MarkingRouterExtension:
+    """Per-router marking behaviour, attached to a border router.
+
+    Topology builders register the extension as a forward observer on each
+    :class:`repro.router.BorderRouter`; the route-record stamp is disabled
+    when running the probabilistic-traceback ablation so the comparison is
+    honest.
+    """
+
+    #: Attribute name used to carry the mark on the packet object.
+    MARK_ATTR = "_edge_mark"
+
+    def __init__(self, router_name: str, probability: float = 0.04,
+                 rng: Optional[SeededRandom] = None) -> None:
+        if not 0.0 < probability <= 1.0:
+            raise ValueError(f"marking probability must be in (0, 1], got {probability}")
+        self.router_name = router_name
+        self.probability = probability
+        self._rng = rng or SeededRandom(hash(router_name) & 0x7FFFFFFF, name=router_name)
+        self.packets_marked = 0
+
+    def __call__(self, packet: Packet, link) -> None:
+        """Forward-observer hook: possibly (re)mark the packet."""
+        mark: Optional[EdgeMark] = getattr(packet, self.MARK_ATTR, None)
+        if self._rng.chance(self.probability):
+            setattr(packet, self.MARK_ATTR, EdgeMark(start=self.router_name))
+            self.packets_marked += 1
+            return
+        if mark is not None:
+            if mark.distance == 0 and not mark.end:
+                mark.end = self.router_name
+            mark.distance += 1
+
+
+class ProbabilisticTraceback(TracebackMechanism):
+    """Victim-side path reconstruction from sampled edge marks."""
+
+    def __init__(self, min_packets: int = 50) -> None:
+        #: Minimum number of observed packets before attempting reconstruction.
+        self.min_packets = min_packets
+        self._edges: Dict[Tuple[int, int], Dict[Tuple[str, str, int], int]] = {}
+        self._observed: Dict[Tuple[int, int], int] = {}
+        self.packets_observed = 0
+
+    # ------------------------------------------------------------------
+    # TracebackMechanism interface
+    # ------------------------------------------------------------------
+    def observe(self, packet: Packet) -> None:
+        """Record the edge mark (if any) carried by an attack packet."""
+        self.packets_observed += 1
+        key = (packet.src.value, packet.dst.value)
+        self._observed[key] = self._observed.get(key, 0) + 1
+        mark: Optional[EdgeMark] = getattr(packet, MarkingRouterExtension.MARK_ATTR, None)
+        if mark is None or not mark.start:
+            return
+        edge_key = (mark.start, mark.end, mark.distance)
+        flow_edges = self._edges.setdefault(key, {})
+        flow_edges[edge_key] = flow_edges.get(edge_key, 0) + 1
+
+    def path_for(self, packet: Packet) -> Optional[AttackPath]:
+        """Reconstruct the path for ``packet``'s flow from accumulated marks."""
+        key = (packet.src.value, packet.dst.value)
+        observed = self._observed.get(key, 0)
+        if observed < self.min_packets:
+            return None
+        flow_edges = self._edges.get(key)
+        if not flow_edges:
+            return None
+        path = self._reconstruct(flow_edges)
+        if not path:
+            return None
+        samples = sum(flow_edges.values())
+        confidence = min(1.0, samples / max(1, observed * 0.02))
+        return AttackPath(routers=tuple(path), confidence=confidence, packets_used=observed)
+
+    @property
+    def traceback_delay_packets(self) -> int:
+        """Packets required before reconstruction is attempted."""
+        return self.min_packets
+
+    # ------------------------------------------------------------------
+    # reconstruction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _reconstruct(flow_edges: Dict[Tuple[str, str, int], int]) -> List[str]:
+        """Order routers by the distance of the marks naming them.
+
+        The distance in a mark counts how many border routers the packet
+        crossed *after* the marking router, so larger distances mean the
+        router is further from the victim (closer to the attacker).
+        """
+        best_distance: Dict[str, int] = {}
+        weight: Dict[str, int] = {}
+        for (start, end, distance), count in flow_edges.items():
+            for name, dist in ((start, distance), (end, max(0, distance - 1))):
+                if not name:
+                    continue
+                weight[name] = weight.get(name, 0) + count
+                if name not in best_distance or dist > best_distance[name]:
+                    best_distance[name] = dist
+        if not best_distance:
+            return []
+        # Farthest-from-victim first = attacker's gateway first, matching
+        # AttackPath's convention.
+        ordered = sorted(best_distance, key=lambda n: (-best_distance[n], -weight[n], n))
+        return ordered

@@ -1,0 +1,48 @@
+"""Route-record traceback: read the path straight off the packet.
+
+This models the TRIAD-style architecture the paper's Section IV-B example
+assumes ("suppose we use an architecture like [CG00], where traceback is
+automatically provided inside each packet.  Then traceback time is 0").
+Border routers stamp their name onto every forwarded packet
+(:meth:`repro.net.Packet.stamp_route`), so a single attack packet is enough
+to learn the full border-router path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.net.packet import Packet
+from repro.traceback.base import AttackPath, TracebackMechanism
+
+
+class RouteRecordTraceback(TracebackMechanism):
+    """Exact, single-packet traceback from the route-record shim."""
+
+    def __init__(self) -> None:
+        #: Most recent recorded path per (src, dst) pair, so a path can be
+        #: retrieved even for a packet observed earlier.
+        self._paths: Dict[Tuple[int, int], Tuple[str, ...]] = {}
+        self.packets_observed = 0
+
+    def observe(self, packet: Packet) -> None:
+        """Cache the recorded path of the packet's flow."""
+        self.packets_observed += 1
+        if packet.route_record:
+            key = (packet.src.value, packet.dst.value)
+            self._paths[key] = packet.recorded_path
+
+    def path_for(self, packet: Packet) -> Optional[AttackPath]:
+        """Return the exact path carried by (or cached for) ``packet``."""
+        if packet.route_record:
+            return AttackPath(routers=packet.recorded_path, confidence=1.0, packets_used=1)
+        key = (packet.src.value, packet.dst.value)
+        cached = self._paths.get(key)
+        if cached is None:
+            return None
+        return AttackPath(routers=cached, confidence=1.0, packets_used=1)
+
+    @property
+    def traceback_delay_packets(self) -> int:
+        """A single packet suffices: traceback time is effectively zero."""
+        return 1

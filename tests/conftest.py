@@ -1,0 +1,45 @@
+"""Shared fixtures: a deployed Figure-1 network ready for protocol tests."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.config import AITFConfig
+from repro.core.deployment import AITFDeployment, deploy_aitf
+from repro.topology.figure1 import Figure1Topology, build_figure1
+
+
+@dataclass
+class DeployedFigure1:
+    """The Figure-1 topology with AITF agents attached everywhere."""
+
+    figure1: Figure1Topology
+    deployment: AITFDeployment
+    config: AITFConfig
+
+    @property
+    def sim(self):
+        return self.figure1.sim
+
+    @property
+    def log(self):
+        return self.deployment.event_log
+
+
+def make_deployed_figure1(config: AITFConfig = None, **figure1_kwargs) -> DeployedFigure1:
+    """Build Figure 1 and deploy AITF with a test-friendly configuration."""
+    config = config or AITFConfig(
+        filter_timeout=30.0,
+        temporary_filter_timeout=0.5,
+        attacker_grace_period=0.5,
+        handshake_timeout=1.0,
+    )
+    figure1 = build_figure1(**figure1_kwargs)
+    deployment = deploy_aitf(figure1.all_nodes(), config)
+    return DeployedFigure1(figure1=figure1, deployment=deployment, config=config)
+
+
+@pytest.fixture
+def deployed_figure1() -> DeployedFigure1:
+    """A fresh, fully cooperative Figure-1 AITF deployment."""
+    return make_deployed_figure1()

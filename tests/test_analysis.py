@@ -1,0 +1,157 @@
+"""Unit tests for Section IV formulas, measurement instruments and report tables."""
+
+import pytest
+
+from repro.analysis.formulas import (
+    PAPER_EXAMPLES,
+    attacker_side_filters,
+    effective_bandwidth,
+    effective_bandwidth_reduction,
+    protected_flows,
+    victim_gateway_filters,
+    victim_gateway_shadow_entries,
+)
+from repro.analysis.metrics import FlowMeter, GoodputMeter, OccupancySampler, TimeSeries
+from repro.analysis.report import ResultTable, format_bps, format_ratio, format_seconds
+from repro.attacks.flood import FloodAttack
+from repro.attacks.legitimate import LegitimateTraffic
+from repro.net.flowlabel import FlowLabel
+from repro.sim.engine import Simulator
+from repro.topology.figure1 import build_figure1
+
+
+class TestFormulas:
+    def test_paper_worked_examples_are_reproduced_exactly(self):
+        assert PAPER_EXAMPLES.check_consistency()
+
+    def test_effective_bandwidth_reduction_example(self):
+        # Tr = 50 ms, T = 1 min, n = 1  =>  r ~= 0.00083 (Section IV-A.1).
+        r = effective_bandwidth_reduction(1, 0.0, 0.050, 60.0)
+        assert r == pytest.approx(0.00083, rel=0.01)
+
+    def test_reduction_scales_linearly_with_n(self):
+        base = effective_bandwidth_reduction(1, 0.1, 0.05, 60.0)
+        assert effective_bandwidth_reduction(3, 0.1, 0.05, 60.0) == pytest.approx(3 * base)
+
+    def test_effective_bandwidth(self):
+        be = effective_bandwidth(10e6, 1, 0.0, 0.050, 60.0)
+        assert be == pytest.approx(10e6 * 0.05 / 60.0)
+
+    def test_protected_flows_example(self):
+        assert protected_flows(100.0, 60.0) == 6000
+
+    def test_victim_gateway_resources_example(self):
+        assert victim_gateway_filters(100.0, 0.6) == 60
+        assert victim_gateway_shadow_entries(100.0, 60.0) == 6000
+
+    def test_attacker_side_filters_example(self):
+        assert attacker_side_filters(1.0, 60.0) == 60
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            effective_bandwidth_reduction(1, 0.1, 0.05, 0.0)
+        with pytest.raises(ValueError):
+            effective_bandwidth_reduction(-1, 0.1, 0.05, 60.0)
+        with pytest.raises(ValueError):
+            protected_flows(0.0, 60.0)
+        with pytest.raises(ValueError):
+            victim_gateway_filters(100.0, 0.0)
+        with pytest.raises(ValueError):
+            attacker_side_filters(-1.0, 60.0)
+
+
+class TestTimeSeries:
+    def test_basic_statistics(self):
+        series = TimeSeries()
+        for t, v in ((0.0, 1.0), (1.0, 3.0), (2.0, 2.0)):
+            series.add(t, v)
+        assert len(series) == 3
+        assert series.max() == 3.0
+        assert series.mean() == pytest.approx(2.0)
+        assert series.last() == 2.0
+
+    def test_integration(self):
+        series = TimeSeries()
+        series.add(0.0, 0.0)
+        series.add(2.0, 2.0)
+        assert series.integrate() == pytest.approx(2.0)
+
+    def test_empty_series(self):
+        series = TimeSeries()
+        assert series.max() == 0.0
+        assert series.mean() == 0.0
+        assert series.integrate() == 0.0
+
+
+class TestMeters:
+    def test_flow_meter_measures_received_rate(self):
+        figure1 = build_figure1()
+        attack = FloodAttack(figure1.b_host, figure1.g_host.address,
+                             rate_pps=100.0, packet_size=1000)
+        meter = FlowMeter(figure1.g_host, attack.flow_label)
+        attack.start()
+        figure1.sim.run(until=2.0)
+        assert meter.packets > 150
+        rate = meter.received_bps(0.0, 2.0)
+        assert rate == pytest.approx(0.8e6, rel=0.15)
+        assert 0 < meter.effective_bandwidth_ratio(attack.offered_rate_bps, 0.0, 2.0) <= 1.05
+
+    def test_flow_meter_ignores_other_flows(self):
+        figure1 = build_figure1(extra_good_hosts=1)
+        label = FlowLabel.between(figure1.b_host.address, figure1.g_host.address)
+        meter = FlowMeter(figure1.g_host, label)
+        sender = figure1.topology.node("G_host2")
+        LegitimateTraffic(sender, figure1.g_host.address, rate_pps=100.0).start()
+        figure1.sim.run(until=1.0)
+        assert meter.packets == 0
+
+    def test_goodput_meter_counts_only_legit_tag(self):
+        figure1 = build_figure1(extra_good_hosts=1)
+        goodput = GoodputMeter(figure1.g_host)
+        sender = figure1.topology.node("G_host2")
+        LegitimateTraffic(sender, figure1.g_host.address, rate_pps=100.0).start()
+        FloodAttack(figure1.b_host, figure1.g_host.address, rate_pps=100.0).start()
+        figure1.sim.run(until=1.0)
+        assert goodput.packets == pytest.approx(100, abs=10)
+        assert goodput.goodput_bps(0.0, 1.0) == pytest.approx(0.8e6, rel=0.15)
+        series = goodput.goodput_series()
+        assert len(series) > 0
+
+    def test_occupancy_sampler_tracks_peak(self):
+        sim = Simulator()
+        value = {"x": 0}
+        sampler = OccupancySampler(sim, lambda: value["x"], period=0.1).start()
+        sim.schedule(0.25, lambda: value.update(x=5))
+        sim.schedule(0.55, lambda: value.update(x=2))
+        sim.run(until=1.0)
+        assert sampler.peak == 5.0
+        assert sampler.mean > 0.0
+        sampler.stop()
+
+
+class TestReport:
+    def test_formatters(self):
+        assert format_bps(12_000_000) == "12.00 Mbps"
+        assert format_bps(2_500) == "2.50 kbps"
+        assert format_bps(3e9) == "3.00 Gbps"
+        assert format_bps(12) == "12 bps"
+        assert format_seconds(0.05) == "50 ms"
+        assert format_seconds(2.0) == "2.00 s"
+        assert format_seconds(180.0) == "3.0 min"
+        assert format_ratio(0.00083) == "0.00083"
+        assert format_ratio(0.25) == "0.250"
+        assert format_ratio(0.0) == "0"
+
+    def test_result_table_render(self):
+        table = ResultTable("Experiment E1", ["param", "paper", "measured"])
+        table.add_row("T=60", 0.00083, 0.0009)
+        table.add_note("measured over one T period")
+        text = table.render()
+        assert "Experiment E1" in text
+        assert "0.00083" in text
+        assert "note:" in text
+
+    def test_row_width_mismatch_rejected(self):
+        table = ResultTable("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")

@@ -1,0 +1,137 @@
+"""Unit tests for the Pushback, manual-filtering and ingress/DPF baselines."""
+
+import pytest
+
+from repro.attacks.flood import FloodAttack, SpoofedFloodAttack
+from repro.baselines.ingress_dpf import (
+    collect_ingress_stats,
+    enable_universal_ingress_filtering,
+)
+from repro.baselines.manual import ManualFilteringOperator
+from repro.baselines.pushback import deploy_pushback
+from repro.net.flowlabel import FlowLabel
+from repro.sim.randomness import SeededRandom
+from repro.topology.figure1 import build_figure1
+
+
+class TestPushback:
+    def test_local_rate_limiting_squeezes_the_aggregate(self):
+        figure1 = build_figure1()
+        pushback = deploy_pushback(figure1.topology.border_routers(), limit_bps=1e6)
+        aggregate = FlowLabel.to_destination(figure1.g_host.address)
+        pushback.start_at("G_gw1", aggregate)
+        received = []
+        figure1.g_host.on_receive(received.append)
+        FloodAttack(figure1.b_host, figure1.g_host.address, rate_pps=1000.0).start()
+        figure1.sim.run(until=2.0)
+        limiter = pushback.agent("G_gw1").limiters[aggregate]
+        assert limiter.packets_dropped > 0
+        # Roughly the limit gets through once the rate estimate has warmed up:
+        # 1 Mbps over 2 s is ~250 packets of 1000 B, plus the first estimation
+        # window during which everything passes.
+        assert len(received) < 600
+        assert limiter.drop_rate > 0.5
+
+    def test_propagation_is_hop_by_hop(self):
+        figure1 = build_figure1()
+        pushback = deploy_pushback(figure1.topology.border_routers(),
+                                   limit_bps=1e6, review_interval=0.5)
+        aggregate = FlowLabel.to_destination(figure1.g_host.address)
+        pushback.start_at("G_gw1", aggregate)
+        FloodAttack(figure1.b_host, figure1.g_host.address, rate_pps=2000.0).start()
+        figure1.sim.run(until=6.0)
+        # The request travelled G_gw1 -> G_gw2 -> ... one hop per review.
+        assert pushback.agent("G_gw2").requests_received >= 1
+        assert pushback.routers_involved >= 2
+        assert pushback.total_requests >= 1
+
+    def test_rate_limit_also_hurts_legitimate_traffic_to_victim(self):
+        figure1 = build_figure1(extra_good_hosts=1)
+        pushback = deploy_pushback(figure1.topology.border_routers(), limit_bps=0.5e6)
+        aggregate = FlowLabel.to_destination(figure1.g_host.address)
+        pushback.start_at("G_gw1", aggregate)
+        legit_received = []
+        figure1.g_host.on_receive(
+            lambda p: legit_received.append(p) if p.flow_tag.startswith("legit") else None)
+        from repro.attacks.legitimate import LegitimateTraffic
+        sender = figure1.topology.node("G_host2")
+        LegitimateTraffic(sender, figure1.g_host.address, rate_pps=200.0).start()
+        FloodAttack(figure1.b_host, figure1.g_host.address, rate_pps=1000.0).start()
+        figure1.sim.run(until=2.0)
+        # The aggregate limiter cannot tell legit from attack: collateral loss.
+        assert len(legit_received) < 350
+
+    def test_max_depth_bounds_recursion(self):
+        figure1 = build_figure1()
+        pushback = deploy_pushback(figure1.topology.border_routers(),
+                                   limit_bps=1e5, review_interval=0.2)
+        for agent in pushback.agents.values():
+            agent.max_depth = 1
+        aggregate = FlowLabel.to_destination(figure1.g_host.address)
+        pushback.start_at("G_gw1", aggregate)
+        FloodAttack(figure1.b_host, figure1.g_host.address, rate_pps=2000.0).start()
+        figure1.sim.run(until=3.0)
+        assert pushback.agent("G_gw1").requests_sent == 0
+
+
+class TestManualFiltering:
+    def test_filters_land_after_human_delays(self):
+        figure1 = build_figure1()
+        operator = ManualFilteringOperator(figure1.sim,
+                                           local_response_delay=2.0,
+                                           upstream_response_delay=5.0)
+        label = FlowLabel.between(figure1.b_host.address, figure1.g_host.address)
+        operator.respond(label, figure1.g_gw1, figure1.g_gw2, attack_start=0.0)
+        figure1.sim.run(until=1.0)
+        assert operator.filters_installed == 0
+        figure1.sim.run(until=3.0)
+        assert operator.filters_installed == 1
+        assert figure1.g_gw1.filter_table.occupancy == 1
+        figure1.sim.run(until=6.0)
+        assert operator.filters_installed == 2
+        assert operator.time_to_first_filter() == pytest.approx(2.0)
+
+    def test_attack_runs_unchecked_until_manual_filter(self):
+        figure1 = build_figure1()
+        operator = ManualFilteringOperator(figure1.sim, local_response_delay=3.0)
+        label = FlowLabel.between(figure1.b_host.address, figure1.g_host.address)
+        operator.respond(label, figure1.g_gw1, attack_start=0.0)
+        received = []
+        figure1.g_host.on_receive(received.append)
+        FloodAttack(figure1.b_host, figure1.g_host.address, rate_pps=500.0).start()
+        figure1.sim.run(until=6.0)
+        before = [p for p in received if p.created_at < 3.0]
+        after = [p for p in received if p.created_at > 3.5]
+        assert len(before) > 1000
+        assert len(after) == 0
+
+
+class TestIngressDPF:
+    def test_universal_ingress_stops_spoofed_flood(self):
+        figure1 = build_figure1()
+        enable_universal_ingress_filtering(figure1.all_nodes())
+        received = []
+        figure1.g_host.on_receive(received.append)
+        SpoofedFloodAttack(figure1.b_host, figure1.g_host.address,
+                           rate_pps=300.0, rng=SeededRandom(1)).start()
+        figure1.sim.run(until=1.0)
+        stats = collect_ingress_stats(figure1.all_nodes())
+        assert stats.routers_enforcing == 6
+        assert stats.spoofed_dropped > 0
+        assert len(received) == 0
+
+    def test_ingress_does_not_stop_honest_source_flood(self):
+        figure1 = build_figure1()
+        enable_universal_ingress_filtering(figure1.all_nodes())
+        received = []
+        figure1.g_host.on_receive(received.append)
+        FloodAttack(figure1.b_host, figure1.g_host.address, rate_pps=300.0).start()
+        figure1.sim.run(until=1.0)
+        assert len(received) > 200
+
+    def test_enable_returns_affected_routers_and_can_disable(self):
+        figure1 = build_figure1()
+        routers = enable_universal_ingress_filtering(figure1.all_nodes())
+        assert len(routers) == 6
+        disabled = enable_universal_ingress_filtering(figure1.all_nodes(), enforce=False)
+        assert all(not r.ingress.enforce for r in disabled)

@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_flood_defaults(self):
+        args = build_parser().parse_args(["flood"])
+        assert args.command == "flood"
+        assert args.duration == 10.0
+        assert not args.no_aitf
+
+    def test_onoff_and_resources_flags(self):
+        args = build_parser().parse_args(["onoff", "--no-shadow"])
+        assert args.no_shadow
+        args = build_parser().parse_args(["resources", "--role", "attacker",
+                                          "--rate", "2"])
+        assert args.role == "attacker"
+        assert args.rate == 2.0
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["not-a-command"])
+
+
+class TestFloodCommand:
+    def test_table_output(self, capsys):
+        code = main(["flood", "--duration", "4", "--attack-pps", "800"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Flood defense" in out
+        assert "effective-bandwidth ratio" in out
+
+    def test_json_output_is_parseable(self, capsys):
+        code = main(["--json", "flood", "--duration", "4", "--attack-pps", "800"])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["effective_bandwidth_ratio"] < 0.1
+        assert payload["time_to_first_block"] is not None
+
+    def test_no_aitf_baseline(self, capsys):
+        code = main(["--json", "flood", "--duration", "4", "--no-aitf"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["time_to_first_block"] is None
+        assert payload["effective_bandwidth_ratio"] > 0.2
+
+    def test_non_cooperating_list(self, capsys):
+        code = main(["--json", "flood", "--duration", "6",
+                     "--non-cooperating", "B_gw1", "--filter-timeout", "30",
+                     "--ttmp", "0.8"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["escalation_rounds"] >= 2
+
+
+class TestOnOffCommand:
+    def test_runs_and_reports(self, capsys):
+        code = main(["--json", "onoff", "--duration", "8"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["attack_cycles"] >= 2
+
+
+class TestResourcesCommand:
+    def test_victim_role(self, capsys):
+        code = main(["--json", "resources", "--role", "victim", "--rate", "50",
+                     "--duration", "3"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["requests_sent"] == 150
+        assert payload["predicted_filters"] > 0
+
+    def test_attacker_role(self, capsys):
+        code = main(["--json", "resources", "--role", "attacker", "--rate", "2",
+                     "--duration", "6", "--filter-timeout", "10"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["predicted_filters"] == 20
+        assert payload["gateway_peak_filter_occupancy"] >= 5
+
+    def test_table_output(self, capsys):
+        code = main(["resources", "--role", "victim", "--rate", "20",
+                     "--duration", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Victim-gateway resources" in out

@@ -1,0 +1,144 @@
+"""Unit tests for addresses, prefixes and the allocator."""
+
+import pytest
+
+from repro.net.address import AddressAllocator, IPAddress, Prefix
+
+
+class TestIPAddress:
+    def test_parse_dotted_quad(self):
+        address = IPAddress.parse("10.1.2.3")
+        assert str(address) == "10.1.2.3"
+        assert int(address) == (10 << 24) | (1 << 16) | (2 << 8) | 3
+
+    def test_parse_int_and_identity(self):
+        address = IPAddress.parse(256)
+        assert str(address) == "0.0.1.0"
+        assert IPAddress.parse(address) is address
+
+    def test_malformed_addresses_rejected(self):
+        for bad in ("10.1.2", "10.1.2.3.4", "10.1.2.999", "abc"):
+            with pytest.raises(ValueError):
+                IPAddress.parse(bad)
+
+    def test_out_of_range_int_rejected(self):
+        with pytest.raises(ValueError):
+            IPAddress(1 << 32)
+        with pytest.raises(ValueError):
+            IPAddress(-1)
+
+    def test_equality_and_hash(self):
+        assert IPAddress.parse("10.0.0.1") == IPAddress.parse("10.0.0.1")
+        assert len({IPAddress.parse("10.0.0.1"), IPAddress.parse("10.0.0.1")}) == 1
+
+    def test_ordering(self):
+        assert IPAddress.parse("10.0.0.1") < IPAddress.parse("10.0.0.2")
+
+    def test_addition(self):
+        assert IPAddress.parse("10.0.0.1") + 5 == IPAddress.parse("10.0.0.6")
+
+    def test_in_prefix(self):
+        prefix = Prefix.parse("10.0.0.0/24")
+        assert IPAddress.parse("10.0.0.77").in_prefix(prefix)
+        assert not IPAddress.parse("10.0.1.77").in_prefix(prefix)
+
+
+class TestPrefix:
+    def test_parse_and_str(self):
+        prefix = Prefix.parse("192.168.4.0/22")
+        assert str(prefix) == "192.168.4.0/22"
+        assert prefix.length == 22
+
+    def test_parse_requires_length(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.0")
+
+    def test_host_bits_set_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix(IPAddress.parse("10.0.0.1"), 24)
+
+    def test_length_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix(IPAddress.parse("10.0.0.0"), 33)
+
+    def test_contains(self):
+        prefix = Prefix.parse("10.1.0.0/16")
+        assert prefix.contains("10.1.255.255")
+        assert not prefix.contains("10.2.0.0")
+
+    def test_zero_length_prefix_contains_everything(self):
+        default = Prefix.parse("0.0.0.0/0")
+        assert default.contains("1.2.3.4")
+        assert default.contains("255.255.255.255")
+
+    def test_num_addresses(self):
+        assert Prefix.parse("10.0.0.0/24").num_addresses == 256
+        assert Prefix.parse("10.0.0.4/32").num_addresses == 1
+
+    def test_host_indexing(self):
+        prefix = Prefix.parse("10.0.0.0/24")
+        assert prefix.host(1) == IPAddress.parse("10.0.0.1")
+        with pytest.raises(ValueError):
+            prefix.host(256)
+
+    def test_hosts_skips_network_and_broadcast(self):
+        prefix = Prefix.parse("10.0.0.0/30")
+        hosts = list(prefix.hosts())
+        assert hosts == [IPAddress.parse("10.0.0.1"), IPAddress.parse("10.0.0.2")]
+
+    def test_hosts_of_host_route(self):
+        prefix = Prefix.parse("10.0.0.9/32")
+        assert list(prefix.hosts()) == [IPAddress.parse("10.0.0.9")]
+
+    def test_overlaps(self):
+        a = Prefix.parse("10.0.0.0/16")
+        b = Prefix.parse("10.0.4.0/24")
+        c = Prefix.parse("10.1.0.0/16")
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_subnets(self):
+        prefix = Prefix.parse("10.0.0.0/23")
+        subnets = list(prefix.subnets(24))
+        assert [str(s) for s in subnets] == ["10.0.0.0/24", "10.0.1.0/24"]
+        with pytest.raises(ValueError):
+            list(prefix.subnets(22))
+
+
+class TestAddressAllocator:
+    def test_prefixes_do_not_overlap(self):
+        allocator = AddressAllocator("10.0.0.0/8")
+        prefixes = [allocator.allocate_prefix(24) for _ in range(50)]
+        for i, a in enumerate(prefixes):
+            for b in prefixes[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_mixed_sizes_do_not_overlap(self):
+        allocator = AddressAllocator("10.0.0.0/8")
+        sizes = [24, 30, 16, 24, 28, 22]
+        prefixes = [allocator.allocate_prefix(s) for s in sizes]
+        for i, a in enumerate(prefixes):
+            for b in prefixes[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_host_allocation_inside_prefix(self):
+        allocator = AddressAllocator()
+        prefix = allocator.allocate_prefix(24)
+        first = allocator.allocate_host(prefix)
+        second = allocator.allocate_host(prefix)
+        assert prefix.contains(first)
+        assert prefix.contains(second)
+        assert first != second
+
+    def test_pool_exhaustion_raises(self):
+        allocator = AddressAllocator("10.0.0.0/30")
+        allocator.allocate_prefix(31)
+        allocator.allocate_prefix(31)
+        with pytest.raises(RuntimeError):
+            allocator.allocate_prefix(31)
+
+    def test_requesting_larger_than_pool_rejected(self):
+        allocator = AddressAllocator("10.0.0.0/24")
+        with pytest.raises(ValueError):
+            allocator.allocate_prefix(16)

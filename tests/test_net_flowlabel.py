@@ -1,0 +1,112 @@
+"""Unit tests for flow labels (the AITF filtering-request classifiers)."""
+
+import pytest
+
+from repro.net.address import IPAddress, Prefix
+from repro.net.flowlabel import FlowLabel
+from repro.net.packet import Packet
+
+
+def make_packet(src="10.0.0.1", dst="10.0.1.1", protocol="udp",
+                src_port=1234, dst_port=80):
+    return Packet.data(IPAddress.parse(src), IPAddress.parse(dst),
+                       protocol=protocol, src_port=src_port, dst_port=dst_port)
+
+
+class TestMatching:
+    def test_exact_src_dst_match(self):
+        label = FlowLabel.between("10.0.0.1", "10.0.1.1")
+        assert label.matches(make_packet())
+        assert not label.matches(make_packet(src="10.0.0.2"))
+        assert not label.matches(make_packet(dst="10.0.1.2"))
+
+    def test_wildcard_source_matches_any_source(self):
+        label = FlowLabel.to_destination("10.0.1.1")
+        assert label.matches(make_packet(src="1.2.3.4"))
+        assert not label.matches(make_packet(dst="10.9.9.9"))
+
+    def test_wildcard_destination_matches_any_destination(self):
+        label = FlowLabel.from_source("10.0.0.1")
+        assert label.matches(make_packet(dst="99.0.0.1"))
+        assert not label.matches(make_packet(src="10.0.0.9"))
+
+    def test_prefix_patterns(self):
+        label = FlowLabel.between("10.0.0.0/24", "10.0.1.0/24")
+        assert label.matches(make_packet(src="10.0.0.200", dst="10.0.1.7"))
+        assert not label.matches(make_packet(src="10.0.2.1"))
+
+    def test_protocol_and_port_constraints(self):
+        label = FlowLabel.between("10.0.0.1", "10.0.1.1", protocol="udp", dst_port=80)
+        assert label.matches(make_packet())
+        assert not label.matches(make_packet(protocol="tcp"))
+        assert not label.matches(make_packet(dst_port=443))
+
+    def test_src_port_constraint(self):
+        label = FlowLabel.between("10.0.0.1", "10.0.1.1", src_port=1234)
+        assert label.matches(make_packet())
+        assert not label.matches(make_packet(src_port=9999))
+
+    def test_string_inputs_are_normalized(self):
+        label = FlowLabel.between("10.0.0.1", "10.0.1.0/24")
+        assert isinstance(label.src, IPAddress)
+        assert isinstance(label.dst, Prefix)
+
+
+class TestCovers:
+    def test_equal_labels_cover_each_other(self):
+        a = FlowLabel.between("10.0.0.1", "10.0.1.1")
+        b = FlowLabel.between("10.0.0.1", "10.0.1.1")
+        assert a.covers(b) and b.covers(a)
+
+    def test_wildcard_covers_specific(self):
+        broad = FlowLabel.to_destination("10.0.1.1")
+        narrow = FlowLabel.between("10.0.0.1", "10.0.1.1")
+        assert broad.covers(narrow)
+        assert not narrow.covers(broad)
+
+    def test_prefix_covers_contained_address(self):
+        broad = FlowLabel.between("10.0.0.0/24", "10.0.1.1")
+        narrow = FlowLabel.between("10.0.0.7", "10.0.1.1")
+        assert broad.covers(narrow)
+        assert not narrow.covers(broad)
+
+    def test_prefix_covers_longer_prefix(self):
+        broad = FlowLabel.between("10.0.0.0/16", None)
+        narrow = FlowLabel.between("10.0.4.0/24", None)
+        assert broad.covers(narrow)
+        assert not narrow.covers(broad)
+
+    def test_protocol_constraint_breaks_coverage(self):
+        broad = FlowLabel.between("10.0.0.1", "10.0.1.1", protocol="udp")
+        narrow = FlowLabel.between("10.0.0.1", "10.0.1.1", protocol="tcp")
+        assert not broad.covers(narrow)
+        unconstrained = FlowLabel.between("10.0.0.1", "10.0.1.1")
+        assert unconstrained.covers(broad)
+
+    def test_host_route_prefix_equivalent_to_address(self):
+        as_prefix = FlowLabel.between(Prefix.parse("10.0.0.1/32"), None)
+        as_address = FlowLabel.between("10.0.0.1", None)
+        assert as_address.covers(as_prefix)
+
+
+class TestProperties:
+    def test_wildcard_count(self):
+        assert FlowLabel().wildcard_count == 5
+        assert FlowLabel.between("10.0.0.1", "10.0.1.1").wildcard_count == 3
+        assert FlowLabel.between("10.0.0.1", "10.0.1.1", protocol="udp",
+                                 src_port=1, dst_port=2).wildcard_count == 0
+
+    def test_fully_wildcarded_flag(self):
+        assert FlowLabel().is_fully_wildcarded
+        assert not FlowLabel.from_source("10.0.0.1").is_fully_wildcarded
+
+    def test_labels_are_hashable_and_equal_by_value(self):
+        a = FlowLabel.between("10.0.0.1", "10.0.1.1")
+        b = FlowLabel.between("10.0.0.1", "10.0.1.1")
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_str_shows_wildcards(self):
+        text = str(FlowLabel.from_source("10.0.0.1"))
+        assert "dst=*" in text
+        assert "10.0.0.1" in text

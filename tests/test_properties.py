@@ -1,0 +1,171 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.address import IPAddress, Prefix
+from repro.net.flowlabel import FlowLabel
+from repro.net.packet import Packet
+from repro.net.queues import DropTailQueue
+from repro.router.filter_table import FilterTable, FilterTableFullError
+from repro.router.policer import TokenBucket
+from repro.sim.engine import Simulator
+
+
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 1).map(IPAddress)
+prefix_lengths = st.integers(min_value=0, max_value=32)
+
+
+@st.composite
+def prefixes(draw):
+    length = draw(prefix_lengths)
+    raw = draw(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    mask = 0 if length == 0 else ((1 << 32) - 1) << (32 - length) & ((1 << 32) - 1)
+    return Prefix(IPAddress(raw & mask), length)
+
+
+class TestAddressProperties:
+    @given(addresses)
+    def test_parse_str_roundtrip(self, address):
+        assert IPAddress.parse(str(address)) == address
+
+    @given(prefixes(), addresses)
+    def test_contains_agrees_with_mask_arithmetic(self, prefix, address):
+        expected = (address.value & prefix.mask) == prefix.network.value
+        assert prefix.contains(address) == expected
+
+    @given(prefixes())
+    def test_prefix_contains_its_own_network_and_last_address(self, prefix):
+        assert prefix.contains(prefix.network)
+        last = IPAddress(prefix.network.value + prefix.num_addresses - 1)
+        assert prefix.contains(last)
+
+    @given(prefixes(), prefixes())
+    def test_overlap_is_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(prefixes())
+    def test_subnet_split_partitions_the_prefix(self, prefix):
+        if prefix.length > 30:
+            return
+        children = list(prefix.subnets(prefix.length + 2))
+        assert len(children) == 4
+        assert sum(c.num_addresses for c in children) == prefix.num_addresses
+        for i, a in enumerate(children):
+            assert prefix.contains(a.network)
+            for b in children[i + 1:]:
+                assert not a.overlaps(b)
+
+
+class TestFlowLabelProperties:
+    @given(addresses, addresses, addresses, addresses)
+    def test_covers_implies_matches(self, src_a, dst_a, src_b, dst_b):
+        """If label A covers label B, every packet matching B matches A."""
+        broad = FlowLabel.between(src_a, None if dst_a.value % 2 else dst_a)
+        narrow = FlowLabel.between(src_b, dst_b)
+        packet = Packet.data(src_b, dst_b)
+        if broad.covers(narrow) and narrow.matches(packet):
+            assert broad.matches(packet)
+
+    @given(addresses, addresses)
+    def test_exact_label_matches_exactly_its_flow(self, src, dst):
+        label = FlowLabel.between(src, dst)
+        assert label.matches(Packet.data(src, dst))
+        other = IPAddress((src.value + 1) % (1 << 32))
+        if other != src:
+            assert not label.matches(Packet.data(other, dst))
+
+    @given(addresses, addresses)
+    def test_covers_is_reflexive(self, src, dst):
+        label = FlowLabel.between(src, dst)
+        assert label.covers(label)
+
+
+class TestFilterTableProperties:
+    @given(st.lists(st.tuples(addresses, st.floats(min_value=0.1, max_value=100.0)),
+                    min_size=1, max_size=60),
+           st.integers(min_value=1, max_value=30))
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, installs, capacity):
+        clock = {"now": 0.0}
+        table = FilterTable(capacity=capacity, clock=lambda: clock["now"])
+        for address, duration in installs:
+            clock["now"] += 0.5
+            try:
+                table.install(FlowLabel.from_source(address), duration)
+            except FilterTableFullError:
+                pass
+            assert table.occupancy <= capacity
+        assert table.peak_occupancy <= capacity
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_every_filter_eventually_expires(self, durations):
+        clock = {"now": 0.0}
+        table = FilterTable(capacity=None, clock=lambda: clock["now"])
+        for index, duration in enumerate(durations):
+            table.install(FlowLabel.from_source(IPAddress(index + 1)), duration)
+        clock["now"] = 11.0  # past the longest possible expiry
+        assert table.occupancy == 0
+
+
+class TestTokenBucketProperties:
+    @given(st.floats(min_value=0.5, max_value=100.0),
+           st.floats(min_value=1.0, max_value=50.0),
+           st.lists(st.floats(min_value=0.0, max_value=0.5), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_acceptances_bounded_by_burst_plus_rate_times_time(self, rate, burst, gaps):
+        clock = {"now": 0.0}
+        bucket = TokenBucket(rate=rate, burst=burst, clock=lambda: clock["now"])
+        accepted = 0
+        for gap in gaps:
+            clock["now"] += gap
+            if bucket.allow():
+                accepted += 1
+        elapsed = sum(gaps)
+        # The token bucket's defining invariant, with a +1 slack for the
+        # token that may be exactly at the boundary.
+        assert accepted <= burst + rate * elapsed + 1
+
+
+class TestQueueProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=2000), min_size=1, max_size=100),
+           st.integers(min_value=1000, max_value=20000))
+    @settings(max_examples=50, deadline=None)
+    def test_conservation_and_capacity(self, sizes, capacity):
+        queue = DropTailQueue(capacity_bytes=capacity)
+        source = IPAddress.parse("10.0.0.1")
+        destination = IPAddress.parse("10.0.1.1")
+        for size in sizes:
+            queue.enqueue(Packet.data(source, destination, size=size))
+            assert queue.bytes_queued <= capacity
+        drained = 0
+        while queue.dequeue() is not None:
+            drained += 1
+        assert drained == queue.stats.enqueued
+        assert queue.stats.enqueued + queue.stats.dropped == len(sizes)
+
+
+class TestSimulatorProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_events_always_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_clock_is_monotone_across_partial_runs(self, delays):
+        sim = Simulator()
+        for delay in delays:
+            sim.schedule(delay, lambda: None)
+        observed = []
+        horizon = max(delays)
+        for fraction in (0.25, 0.5, 0.75, 1.0):
+            sim.run(until=horizon * fraction)
+            observed.append(sim.now)
+        assert observed == sorted(observed)

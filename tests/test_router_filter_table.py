@@ -1,0 +1,156 @@
+"""Unit tests for the bounded wire-speed filter table."""
+
+import pytest
+
+from repro.net.address import IPAddress
+from repro.net.flowlabel import FlowLabel
+from repro.net.packet import Packet
+from repro.router.filter_table import FilterTable, FilterTableFullError
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def label(src="10.0.0.1", dst="10.0.1.1", **kwargs):
+    return FlowLabel.between(src, dst, **kwargs)
+
+
+def packet(src="10.0.0.1", dst="10.0.1.1", **kwargs):
+    return Packet.data(IPAddress.parse(src), IPAddress.parse(dst), **kwargs)
+
+
+class TestInstallAndMatch:
+    def test_installed_filter_blocks_matching_packets(self):
+        clock = FakeClock()
+        table = FilterTable(capacity=10, clock=clock)
+        table.install(label(), duration=60.0)
+        assert table.blocks(packet()) is not None
+        assert table.blocks(packet(src="10.0.0.2")) is None
+
+    def test_block_counters(self):
+        clock = FakeClock()
+        table = FilterTable(capacity=10, clock=clock)
+        entry = table.install(label(), duration=60.0)
+        table.blocks(packet())
+        table.blocks(packet())
+        assert entry.packets_blocked == 2
+        assert entry.bytes_blocked == 2000
+        assert entry.last_blocked_at == 0.0
+        assert table.packets_blocked == 2
+
+    def test_occupancy_and_peak(self):
+        clock = FakeClock()
+        table = FilterTable(capacity=10, clock=clock)
+        table.install(label(src="10.0.0.1"), 60.0)
+        table.install(label(src="10.0.0.2"), 60.0)
+        assert table.occupancy == 2
+        assert table.peak_occupancy == 2
+
+    def test_duplicate_label_reuses_slot_and_extends_expiry(self):
+        clock = FakeClock()
+        table = FilterTable(capacity=10, clock=clock)
+        first = table.install(label(), duration=10.0)
+        second = table.install(label(), duration=60.0)
+        assert first is second
+        assert table.occupancy == 1
+        assert first.expires_at == 60.0
+
+    def test_covering_filter_absorbs_narrower_install(self):
+        clock = FakeClock()
+        table = FilterTable(capacity=10, clock=clock)
+        broad = table.install(FlowLabel.to_destination("10.0.1.1"), 60.0)
+        narrow = table.install(label(), 30.0)
+        assert narrow is broad
+        assert table.occupancy == 1
+
+    def test_invalid_duration_rejected(self):
+        table = FilterTable(capacity=10)
+        with pytest.raises(ValueError):
+            table.install(label(), duration=0.0)
+
+
+class TestCapacity:
+    def test_install_fails_when_full(self):
+        clock = FakeClock()
+        table = FilterTable(capacity=2, clock=clock)
+        table.install(label(src="10.0.0.1"), 60.0)
+        table.install(label(src="10.0.0.2"), 60.0)
+        with pytest.raises(FilterTableFullError):
+            table.install(label(src="10.0.0.3"), 60.0)
+        assert table.install_failures == 1
+        assert table.is_full
+
+    def test_unbounded_table_never_fills(self):
+        clock = FakeClock()
+        table = FilterTable(capacity=None, clock=clock)
+        for index in range(500):
+            table.install(label(src=IPAddress(index + 1)), 60.0)
+        assert not table.is_full
+        assert table.free_slots is None
+
+    def test_free_slots(self):
+        table = FilterTable(capacity=3)
+        table.install(label(), 60.0)
+        assert table.free_slots == 2
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FilterTable(capacity=0)
+
+
+class TestExpiry:
+    def test_filters_expire_after_duration(self):
+        clock = FakeClock()
+        table = FilterTable(capacity=10, clock=clock)
+        table.install(label(), duration=5.0)
+        clock.now = 4.9
+        assert table.blocks(packet()) is not None
+        clock.now = 5.0
+        assert table.blocks(packet()) is None
+        assert table.occupancy == 0
+        assert table.total_expired >= 1
+
+    def test_expiry_frees_capacity(self):
+        clock = FakeClock()
+        table = FilterTable(capacity=1, clock=clock)
+        table.install(label(src="10.0.0.1"), duration=5.0)
+        clock.now = 6.0
+        table.install(label(src="10.0.0.2"), duration=5.0)
+        assert table.occupancy == 1
+
+    def test_has_filter_for_respects_expiry(self):
+        clock = FakeClock()
+        table = FilterTable(capacity=10, clock=clock)
+        table.install(label(), duration=5.0)
+        assert table.has_filter_for(label())
+        clock.now = 10.0
+        assert not table.has_filter_for(label())
+
+
+class TestRemoval:
+    def test_remove_by_entry_and_id(self):
+        table = FilterTable(capacity=10)
+        entry = table.install(label(), 60.0)
+        assert table.remove(entry)
+        assert table.occupancy == 0
+        entry2 = table.install(label(), 60.0)
+        assert table.remove(entry2.filter_id)
+        assert not table.remove(entry2.filter_id)
+
+    def test_remove_matching(self):
+        table = FilterTable(capacity=10)
+        table.install(label(src="10.0.0.1"), 60.0)
+        table.install(label(src="10.0.0.2"), 60.0)
+        assert table.remove_matching(label(src="10.0.0.1")) == 1
+        assert table.occupancy == 1
+
+    def test_clear(self):
+        table = FilterTable(capacity=10)
+        table.install(label(), 60.0)
+        table.clear()
+        assert table.occupancy == 0

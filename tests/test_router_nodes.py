@@ -1,0 +1,207 @@
+"""Unit tests for hosts and border routers (the forwarding pipeline)."""
+
+import pytest
+
+from repro.net.address import IPAddress
+from repro.net.flowlabel import FlowLabel
+from repro.net.link import Link
+from repro.net.packet import Packet, PacketKind
+from repro.router.nodes import BorderRouter, Host
+from repro.sim.engine import Simulator
+
+
+def build_chain():
+    """host_a -- router_r -- host_b, with routes installed by hand."""
+    sim = Simulator()
+    host_a = Host(sim, "host_a", "10.0.0.1", network="net_a")
+    host_b = Host(sim, "host_b", "10.0.1.1", network="net_b")
+    router = BorderRouter(sim, "router_r", "10.0.2.1", network="isp")
+    link_a = Link(sim, host_a, router, bandwidth_bps=10e6, delay=0.001)
+    link_b = Link(sim, router, host_b, bandwidth_bps=10e6, delay=0.001)
+    for node, link in ((host_a, link_a), (host_b, link_b)):
+        node.attach_link(link)
+        node.set_gateway(link)
+    router.attach_link(link_a)
+    router.attach_link(link_b)
+    router.routing.add_route("10.0.0.1/32", link_a)
+    router.routing.add_route("10.0.1.1/32", link_b)
+    return sim, host_a, router, host_b, link_a, link_b
+
+
+def data_packet(src, dst, **kwargs):
+    return Packet.data(IPAddress.parse(src), IPAddress.parse(dst), **kwargs)
+
+
+class TestForwarding:
+    def test_host_to_host_via_router(self):
+        sim, host_a, router, host_b, _, _ = build_chain()
+        received = []
+        host_b.on_receive(received.append)
+        host_a.send(data_packet("10.0.0.1", "10.0.1.1"))
+        sim.run()
+        assert len(received) == 1
+        assert router.stats.packets_forwarded == 1
+
+    def test_route_record_stamped_by_border_router(self):
+        sim, host_a, router, host_b, _, _ = build_chain()
+        received = []
+        host_b.on_receive(received.append)
+        host_a.send(data_packet("10.0.0.1", "10.0.1.1"))
+        sim.run()
+        assert received[0].recorded_path == ("router_r",)
+
+    def test_route_record_stamp_can_be_disabled(self):
+        sim, host_a, router, host_b, _, _ = build_chain()
+        router.stamp_route_record = False
+        received = []
+        host_b.on_receive(received.append)
+        host_a.send(data_packet("10.0.0.1", "10.0.1.1"))
+        sim.run()
+        assert received[0].recorded_path == ()
+
+    def test_no_route_drops_packet(self):
+        sim, host_a, router, host_b, _, _ = build_chain()
+        host_a.send(data_packet("10.0.0.1", "99.99.99.99"))
+        sim.run()
+        assert router.stats.packets_dropped_no_route == 1
+
+    def test_ttl_exhaustion_drops_packet(self):
+        sim, host_a, router, host_b, _, _ = build_chain()
+        packet = data_packet("10.0.0.1", "10.0.1.1")
+        packet.ttl = 1
+        host_a.send(packet)
+        sim.run()
+        assert router.stats.packets_dropped_ttl == 1
+
+    def test_forward_observer_sees_forwarded_data(self):
+        sim, host_a, router, host_b, _, _ = build_chain()
+        seen = []
+        router.add_forward_observer(lambda packet, link: seen.append(packet))
+        host_a.send(data_packet("10.0.0.1", "10.0.1.1"))
+        sim.run()
+        assert len(seen) == 1
+
+    def test_conditioner_can_drop(self):
+        sim, host_a, router, host_b, _, _ = build_chain()
+        router.conditioners.append(lambda packet, link: False)
+        received = []
+        host_b.on_receive(received.append)
+        host_a.send(data_packet("10.0.0.1", "10.0.1.1"))
+        sim.run()
+        assert received == []
+        assert router.stats.packets_dropped_filter == 1
+
+
+class TestFiltering:
+    def test_filter_table_blocks_matching_transit_traffic(self):
+        sim, host_a, router, host_b, _, _ = build_chain()
+        router.filter_table.install(FlowLabel.between("10.0.0.1", "10.0.1.1"), 60.0)
+        received = []
+        host_b.on_receive(received.append)
+        host_a.send(data_packet("10.0.0.1", "10.0.1.1"))
+        sim.run()
+        assert received == []
+        assert router.stats.packets_dropped_filter == 1
+
+    def test_control_traffic_bypasses_filter_table(self):
+        sim, host_a, router, host_b, _, _ = build_chain()
+        router.filter_table.install(FlowLabel.to_destination("10.0.1.1"), 60.0)
+        control = Packet.control(IPAddress.parse("10.0.0.1"), IPAddress.parse("10.0.1.1"),
+                                 PacketKind.FILTERING_REQUEST, payload=None)
+        host_a.send(control)
+        sim.run()
+        assert host_b.stats.packets_delivered == 1
+
+    def test_ingress_enforcement_drops_spoofed(self):
+        sim, host_a, router, host_b, link_a, _ = build_chain()
+        router.ingress.enforce = True
+        router.ingress.allow(link_a, "10.0.0.0/24")
+        received = []
+        host_b.on_receive(received.append)
+        host_a.send(data_packet("7.7.7.7", "10.0.1.1"))
+        host_a.send(data_packet("10.0.0.1", "10.0.1.1"))
+        sim.run()
+        assert len(received) == 1
+        assert router.stats.packets_dropped_ingress == 1
+
+
+class TestHostBehaviour:
+    def test_local_delivery_to_own_address(self):
+        sim, host_a, router, host_b, _, _ = build_chain()
+        received = []
+        host_b.on_receive(received.append)
+        host_a.send(data_packet("10.0.0.1", "10.0.1.1"))
+        sim.run()
+        assert host_b.stats.packets_delivered == 1
+        assert received[0].dst == IPAddress.parse("10.0.1.1")
+
+    def test_outbound_guard_suppresses_data_only(self):
+        sim, host_a, router, host_b, _, _ = build_chain()
+        host_a.outbound_guard = lambda packet: False
+        assert not host_a.send(data_packet("10.0.0.1", "10.0.1.1"))
+        assert host_a.stats_outbound_suppressed == 1
+        control = Packet.control(host_a.address, IPAddress.parse("10.0.1.1"),
+                                 PacketKind.FILTERING_REQUEST, payload=None)
+        assert host_a.send(control)
+
+    def test_control_handler_invoked_for_control_packets(self):
+        sim, host_a, router, host_b, _, _ = build_chain()
+        handled = []
+        host_b.control_handler = lambda packet, link: handled.append(packet)
+        control = Packet.control(host_a.address, IPAddress.parse("10.0.1.1"),
+                                 PacketKind.VERIFICATION_QUERY, payload="q")
+        host_a.send(control)
+        sim.run()
+        assert len(handled) == 1
+
+    def test_address_bookkeeping(self):
+        sim = Simulator()
+        host = Host(sim, "h", "10.0.0.1")
+        assert host.owns_address("10.0.0.1")
+        assert not host.owns_address("10.0.0.2")
+        assert host.address == IPAddress.parse("10.0.0.1")
+
+    def test_node_without_address_raises(self):
+        sim = Simulator()
+        router = BorderRouter(sim, "r", "10.0.0.1")
+        router.addresses.clear()
+        with pytest.raises(RuntimeError):
+            _ = router.address
+
+
+class TestDisconnection:
+    def test_disconnected_link_drops_inbound(self):
+        sim, host_a, router, host_b, link_a, _ = build_chain()
+        router.disconnect_link(link_a)
+        host_a.send(data_packet("10.0.0.1", "10.0.1.1"))
+        sim.run()
+        assert host_b.stats.packets_delivered == 0
+        assert router.stats.packets_dropped_disconnected >= 1
+
+    def test_disconnected_link_blocks_outbound(self):
+        sim, host_a, router, host_b, link_a, link_b = build_chain()
+        router.disconnect_link(link_b)
+        host_a.send(data_packet("10.0.0.1", "10.0.1.1"))
+        sim.run()
+        assert host_b.stats.packets_delivered == 0
+
+    def test_reconnect_restores_traffic(self):
+        sim, host_a, router, host_b, link_a, _ = build_chain()
+        router.disconnect_link(link_a)
+        router.reconnect_link(link_a)
+        host_a.send(data_packet("10.0.0.1", "10.0.1.1"))
+        sim.run()
+        assert host_b.stats.packets_delivered == 1
+
+    def test_serves_address_uses_local_prefixes(self):
+        sim = Simulator()
+        router = BorderRouter(sim, "r", "10.0.2.1")
+        router.add_local_prefix("10.0.0.0/24")
+        assert router.serves_address("10.0.0.55")
+        assert not router.serves_address("10.0.1.55")
+
+    def test_link_to_neighbor(self):
+        sim, host_a, router, host_b, link_a, link_b = build_chain()
+        assert router.link_to(host_a) is link_a
+        assert router.link_to(host_b) is link_b
+        assert host_a.link_to(host_b) is None

@@ -1,0 +1,120 @@
+"""Unit tests for the DRAM shadow cache kept by the victim's gateway."""
+
+import pytest
+
+from repro.net.address import IPAddress
+from repro.net.flowlabel import FlowLabel
+from repro.net.packet import Packet
+from repro.router.shadow_cache import ShadowCache
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def label(src="10.0.0.1", dst="10.0.1.1"):
+    return FlowLabel.between(src, dst)
+
+
+def packet(src="10.0.0.1", dst="10.0.1.1"):
+    return Packet.data(IPAddress.parse(src), IPAddress.parse(dst))
+
+
+class TestLogging:
+    def test_log_and_find(self):
+        cache = ShadowCache()
+        entry = cache.log(label(), duration=60.0, requestor="G_host")
+        assert entry is not None
+        assert cache.find(label()) is entry
+        assert entry.requestor == "G_host"
+
+    def test_duplicate_log_extends_existing_entry(self):
+        clock = FakeClock()
+        cache = ShadowCache(clock=clock)
+        first = cache.log(label(), duration=10.0)
+        second = cache.log(label(), duration=60.0)
+        assert first is second
+        assert cache.occupancy == 1
+        assert first.expires_at == 60.0
+
+    def test_occupancy_and_peak(self):
+        cache = ShadowCache()
+        cache.log(label(src="10.0.0.1"), 60.0)
+        cache.log(label(src="10.0.0.2"), 60.0)
+        assert cache.occupancy == 2
+        assert cache.peak_occupancy == 2
+
+    def test_invalid_duration_rejected(self):
+        cache = ShadowCache()
+        with pytest.raises(ValueError):
+            cache.log(label(), duration=0.0)
+
+
+class TestCapacity:
+    def test_full_cache_refuses_new_entries(self):
+        cache = ShadowCache(capacity=2)
+        assert cache.log(label(src="10.0.0.1"), 60.0) is not None
+        assert cache.log(label(src="10.0.0.2"), 60.0) is not None
+        assert cache.log(label(src="10.0.0.3"), 60.0) is None
+        assert cache.insert_failures == 1
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ShadowCache(capacity=0)
+
+
+class TestExpiry:
+    def test_entries_expire(self):
+        clock = FakeClock()
+        cache = ShadowCache(clock=clock)
+        cache.log(label(), duration=30.0)
+        clock.now = 29.0
+        assert cache.find(label()) is not None
+        clock.now = 30.0
+        assert cache.find(label()) is None
+        assert cache.occupancy == 0
+
+    def test_expiry_frees_capacity(self):
+        clock = FakeClock()
+        cache = ShadowCache(capacity=1, clock=clock)
+        cache.log(label(src="10.0.0.1"), duration=10.0)
+        clock.now = 11.0
+        assert cache.log(label(src="10.0.0.2"), duration=10.0) is not None
+
+
+class TestOnOffDetection:
+    def test_match_packet_finds_shadowed_flow(self):
+        cache = ShadowCache()
+        entry = cache.log(label(), 60.0)
+        hit = cache.match_packet(packet())
+        assert hit is entry
+        assert entry.reappearances == 1
+
+    def test_match_packet_ignores_other_flows(self):
+        cache = ShadowCache()
+        cache.log(label(), 60.0)
+        assert cache.match_packet(packet(src="10.0.0.99")) is None
+
+    def test_match_packet_respects_expiry(self):
+        clock = FakeClock()
+        cache = ShadowCache(clock=clock)
+        cache.log(label(), 30.0)
+        clock.now = 31.0
+        assert cache.match_packet(packet()) is None
+
+    def test_remove(self):
+        cache = ShadowCache()
+        entry = cache.log(label(), 60.0)
+        assert cache.remove(entry)
+        assert not cache.remove(entry)
+        assert cache.occupancy == 0
+
+    def test_clear(self):
+        cache = ShadowCache()
+        cache.log(label(), 60.0)
+        cache.clear()
+        assert cache.occupancy == 0

@@ -1,0 +1,167 @@
+"""Unit tests for topology builders and static routing."""
+
+import pytest
+
+from repro.net.address import IPAddress
+from repro.net.packet import Packet
+from repro.router.nodes import BorderRouter, Host
+from repro.topology.base import Topology
+from repro.topology.figure1 import build_figure1
+from repro.topology.powerlaw import build_powerlaw_internet
+from repro.topology.tree import build_dumbbell, build_provider_tree
+
+
+class TestTopologyKit:
+    def test_duplicate_node_names_rejected(self):
+        topo = Topology()
+        topo.add_host("h", "net")
+        with pytest.raises(ValueError):
+            topo.add_host("h", "net")
+
+    def test_connect_registers_links_on_both_ends(self):
+        topo = Topology()
+        a = topo.add_host("a", "net_a")
+        b = topo.add_border_router("b", "net_b")
+        link = topo.connect(a, b)
+        assert link in a.links and link in b.links
+        assert topo.link_between("a", "b") is link
+        assert topo.link_between("b", "a") is link
+
+    def test_allocated_prefixes_are_disjoint(self):
+        topo = Topology()
+        prefixes = [topo.allocate_network_prefix(24) for _ in range(10)]
+        for i, a in enumerate(prefixes):
+            for b in prefixes[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_path_between_and_border_router_path(self):
+        figure1 = build_figure1()
+        path = figure1.topology.path_between("B_host", "G_host")
+        assert path[0] == "B_host" and path[-1] == "G_host"
+        router_path = figure1.topology.border_router_path("B_host", "G_host")
+        assert router_path == ("B_gw1", "B_gw2", "B_gw3", "G_gw3", "G_gw2", "G_gw1")
+
+
+class TestFigure1:
+    def test_attack_path_matches_paper(self):
+        figure1 = build_figure1()
+        assert figure1.attack_path == ("B_gw1", "B_gw2", "B_gw3",
+                                       "G_gw3", "G_gw2", "G_gw1")
+
+    def test_end_to_end_delivery_both_directions(self):
+        figure1 = build_figure1()
+        received_g, received_b = [], []
+        figure1.g_host.on_receive(received_g.append)
+        figure1.b_host.on_receive(received_b.append)
+        figure1.b_host.send(Packet.data(figure1.b_host.address, figure1.g_host.address))
+        figure1.g_host.send(Packet.data(figure1.g_host.address, figure1.b_host.address))
+        figure1.sim.run(until=2.0)
+        assert len(received_g) == 1
+        assert len(received_b) == 1
+
+    def test_route_record_accumulates_full_border_path(self):
+        figure1 = build_figure1()
+        received = []
+        figure1.g_host.on_receive(received.append)
+        figure1.b_host.send(Packet.data(figure1.b_host.address, figure1.g_host.address))
+        figure1.sim.run(until=2.0)
+        assert received[0].recorded_path == figure1.attack_path
+
+    def test_tail_circuit_bandwidth_parameter(self):
+        figure1 = build_figure1(tail_circuit_bandwidth=2e6)
+        assert figure1.tail_circuit.bandwidth_bps == 2e6
+
+    def test_extra_hosts(self):
+        figure1 = build_figure1(extra_good_hosts=2, extra_bad_hosts=3)
+        hosts = figure1.topology.hosts()
+        assert len(hosts) == 2 + 2 + 3
+        assert "G_host2" in figure1.topology.nodes
+        assert "B_host4" in figure1.topology.nodes
+
+    def test_networks_assigned(self):
+        figure1 = build_figure1()
+        assert figure1.g_gw1.network == "G_net"
+        assert figure1.g_gw2.network == "G_isp"
+        assert figure1.b_gw3.network == "B_wan"
+
+    def test_victim_gateway_serves_victim_prefix(self):
+        figure1 = build_figure1()
+        assert figure1.g_gw1.serves_address(figure1.g_host.address)
+        assert not figure1.g_gw1.serves_address(figure1.b_host.address)
+
+
+class TestDumbbell:
+    def test_structure(self):
+        dumbbell = build_dumbbell(sources=5)
+        assert len(dumbbell.sources) == 5
+        assert isinstance(dumbbell.victim, Host)
+        assert isinstance(dumbbell.victim_gateway, BorderRouter)
+
+    def test_sources_reach_victim(self):
+        dumbbell = build_dumbbell(sources=3)
+        received = []
+        dumbbell.victim.on_receive(received.append)
+        for source in dumbbell.sources:
+            source.send(Packet.data(source.address, dumbbell.victim.address))
+        dumbbell.sim.run(until=1.0)
+        assert len(received) == 3
+
+    def test_needs_at_least_one_source(self):
+        with pytest.raises(ValueError):
+            build_dumbbell(sources=0)
+
+
+class TestProviderTree:
+    def test_structure(self):
+        tree = build_provider_tree(clients=4, hosts_per_client=2)
+        assert len(tree.client_routers) == 4
+        assert all(len(tree.hosts_of(r)) == 2 for r in tree.client_routers)
+
+    def test_client_to_remote_crosses_provider(self):
+        tree = build_provider_tree(clients=2, hosts_per_client=1)
+        host = tree.hosts_of(tree.client_routers[0])[0]
+        received = []
+        tree.remote_host.on_receive(received.append)
+        host.send(Packet.data(host.address, tree.remote_host.address))
+        tree.sim.run(until=1.0)
+        assert len(received) == 1
+        assert "provider" in received[0].recorded_path
+
+    def test_client_to_client_crosses_provider(self):
+        tree = build_provider_tree(clients=2, hosts_per_client=1)
+        src = tree.hosts_of(tree.client_routers[0])[0]
+        dst = tree.hosts_of(tree.client_routers[1])[0]
+        received = []
+        dst.on_receive(received.append)
+        src.send(Packet.data(src.address, dst.address))
+        tree.sim.run(until=1.0)
+        assert len(received) == 1
+
+
+class TestPowerLaw:
+    def test_leaves_and_core_partition(self):
+        internet = build_powerlaw_internet(autonomous_systems=30, hosts_per_leaf=1)
+        assert len(internet.routers) == 30
+        assert len(internet.leaf_routers) + len(internet.core_routers) == 30
+        assert len(internet.leaf_routers) > 0
+        assert len(internet.hosts) == len(internet.leaf_routers)
+
+    def test_hosts_can_reach_each_other(self):
+        internet = build_powerlaw_internet(autonomous_systems=20, hosts_per_leaf=1, seed=3)
+        src, dst = internet.hosts[0], internet.hosts[-1]
+        received = []
+        dst.on_receive(received.append)
+        src.send(Packet.data(src.address, dst.address))
+        internet.sim.run(until=2.0)
+        assert len(received) == 1
+
+    def test_leaf_of(self):
+        internet = build_powerlaw_internet(autonomous_systems=20, hosts_per_leaf=1)
+        host = internet.hosts[0]
+        leaf = internet.leaf_of(host)
+        assert leaf is not None
+        assert host.network == leaf.network
+
+    def test_too_few_ases_rejected(self):
+        with pytest.raises(ValueError):
+            build_powerlaw_internet(autonomous_systems=2)

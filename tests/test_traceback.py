@@ -1,0 +1,123 @@
+"""Unit tests for route-record and probabilistic traceback."""
+
+import pytest
+
+from repro.net.address import IPAddress
+from repro.net.packet import Packet
+from repro.sim.randomness import SeededRandom
+from repro.traceback.base import AttackPath
+from repro.traceback.edge_marking import MarkingRouterExtension, ProbabilisticTraceback
+from repro.traceback.route_record import RouteRecordTraceback
+
+
+SRC = IPAddress.parse("10.0.0.1")
+DST = IPAddress.parse("10.0.1.1")
+PATH = ("B_gw1", "B_gw2", "B_gw3", "G_gw3", "G_gw2", "G_gw1")
+
+
+def stamped_packet(path=PATH):
+    packet = Packet.data(SRC, DST)
+    for router in path:
+        packet.stamp_route(router)
+    return packet
+
+
+class TestAttackPath:
+    def test_gateway_identification(self):
+        path = AttackPath(routers=PATH)
+        assert path.attacker_gateway == "B_gw1"
+        assert path.victim_gateway == "G_gw1"
+        assert path.length == 6
+
+    def test_empty_path(self):
+        path = AttackPath(routers=())
+        assert path.attacker_gateway is None
+        assert path.victim_gateway is None
+
+    def test_upstream_and_downstream_navigation(self):
+        path = AttackPath(routers=PATH)
+        assert path.node_upstream_of("G_gw1") == "G_gw2"
+        assert path.node_upstream_of("B_gw1") is None
+        assert path.node_downstream_of("B_gw1") == "B_gw2"
+        assert path.node_downstream_of("G_gw1") is None
+        assert path.node_upstream_of("not-there") is None
+
+    def test_iteration(self):
+        assert tuple(AttackPath(routers=PATH)) == PATH
+
+
+class TestRouteRecordTraceback:
+    def test_path_from_single_packet(self):
+        traceback = RouteRecordTraceback()
+        packet = stamped_packet()
+        traceback.observe(packet)
+        path = traceback.path_for(packet)
+        assert path is not None
+        assert path.routers == PATH
+        assert path.confidence == 1.0
+        assert traceback.traceback_delay_packets == 1
+
+    def test_cached_path_for_unstamped_packet_of_same_flow(self):
+        traceback = RouteRecordTraceback()
+        traceback.observe(stamped_packet())
+        bare = Packet.data(SRC, DST)
+        path = traceback.path_for(bare)
+        assert path is not None
+        assert path.routers == PATH
+
+    def test_unknown_flow_returns_none(self):
+        traceback = RouteRecordTraceback()
+        bare = Packet.data(SRC, DST)
+        assert traceback.path_for(bare) is None
+
+
+class TestProbabilisticTraceback:
+    def _run_flow(self, marking_probability=0.2, packets=3000, min_packets=50):
+        routers = [MarkingRouterExtension(name, probability=marking_probability,
+                                          rng=SeededRandom(i, name))
+                   for i, name in enumerate(PATH)]
+        traceback = ProbabilisticTraceback(min_packets=min_packets)
+        last = None
+        for _ in range(packets):
+            packet = Packet.data(SRC, DST)
+            for router in routers:
+                router(packet, None)
+            traceback.observe(packet)
+            last = packet
+        return traceback, last
+
+    def test_needs_minimum_packets(self):
+        traceback = ProbabilisticTraceback(min_packets=100)
+        packet = Packet.data(SRC, DST)
+        traceback.observe(packet)
+        assert traceback.path_for(packet) is None
+
+    def test_reconstructs_router_set(self):
+        traceback, packet = self._run_flow()
+        path = traceback.path_for(packet)
+        assert path is not None
+        assert set(path.routers) == set(PATH)
+
+    def test_reconstruction_orders_attacker_side_first(self):
+        traceback, packet = self._run_flow()
+        path = traceback.path_for(packet)
+        # The router nearest the victim (last marker) must not be reported as
+        # the attacker's gateway.
+        assert path.routers[0] != "G_gw1"
+        assert path.routers.index("B_gw1") < path.routers.index("G_gw1")
+
+    def test_requires_many_more_packets_than_route_record(self):
+        traceback, _ = self._run_flow()
+        assert traceback.traceback_delay_packets > RouteRecordTraceback().traceback_delay_packets
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            MarkingRouterExtension("r", probability=0.0)
+        with pytest.raises(ValueError):
+            MarkingRouterExtension("r", probability=1.5)
+
+    def test_marking_counts(self):
+        router = MarkingRouterExtension("r", probability=1.0)
+        packet = Packet.data(SRC, DST)
+        router(packet, None)
+        assert router.packets_marked == 1
