@@ -1,0 +1,80 @@
+"""Engine-throughput regression gate.
+
+The fast-path overhaul (slotted events, fire-and-forget link scheduling,
+indexed filter tables, batched traffic generation) was accepted on a >=3x
+packets/sec improvement over the recorded seed baseline for the canonical
+flood-defense scenario.  This benchmark re-measures that number on every
+run so a future change cannot quietly give the speedup back.
+
+The seed baseline in :data:`repro.perf.bench.SEED_BASELINE` was recorded
+interleaved seed-vs-new on one machine; to keep the gate meaningful on
+different hardware, the expected throughput is scaled by the ratio of the
+current :func:`repro.perf.bench.calibrate` score to the one recorded with
+the baseline (clamped — see ``BenchResult.speedup_vs_seed``).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.report import ResultTable
+from repro.perf.bench import SEED_BASELINE, calibrate, run_bench
+
+from benchmarks.conftest import run_once
+
+#: The acceptance bar: the overhauled engine must stay >=3x the seed.
+REQUIRED_SPEEDUP = 3.0
+
+#: Path of the checked-in benchmark record (repo root).
+BENCH_JSON = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_engine.json")
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    """One machine-speed probe shared by every test in the module."""
+    return calibrate()
+
+
+@pytest.mark.parametrize("name", ["flood", "flood_heavy"])
+def test_flood_defense_throughput_at_least_3x_seed(benchmark, name, calibration):
+    result = run_once(benchmark, run_bench, name, repeats=3)
+    speedup = result.speedup_vs_seed(calibration)
+    table = ResultTable(f"Engine throughput: {name}",
+                        ["metric", "value"])
+    table.add_row("packets/sec", f"{result.packets_per_sec:,.0f}")
+    table.add_row("events/sec", f"{result.events_per_sec:,.0f}")
+    table.add_row("seed packets/sec (recorded)",
+                  f"{SEED_BASELINE[name]['packets_per_sec']:,.0f}")
+    table.add_row("calibration ops/sec", f"{calibration:,.0f}")
+    table.add_row("speedup vs seed (calibrated)", f"{speedup:.2f}x")
+    table.print()
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"{name}: engine throughput regressed to {speedup:.2f}x the seed "
+        f"baseline (gate is {REQUIRED_SPEEDUP}x) — re-profile the fast path "
+        "(see PERFORMANCE.md)"
+    )
+
+
+def test_scaling_throughput_does_not_regress(benchmark, calibration):
+    """The power-law scaling workload must also beat the seed engine.
+
+    This one exercises topology construction and the full AITF protocol
+    stack, not just the packet fast path, so the bar is 2x rather than 3x.
+    """
+    result = run_once(benchmark, run_bench, "scaling", repeats=3)
+    speedup = result.speedup_vs_seed(calibration)
+    assert speedup >= 2.0, (
+        f"scaling: throughput fell to {speedup:.2f}x the seed baseline"
+    )
+
+
+def test_bench_engine_json_is_checked_in_and_consistent():
+    """BENCH_engine.json must exist and carry the >=3x flood numbers."""
+    with open(BENCH_JSON) as handle:
+        doc = json.load(handle)
+    assert doc["schema"] == "bench_engine/v1"
+    assert doc["seed_baseline"] == SEED_BASELINE
+    for name in ("flood", "flood_heavy"):
+        entry = doc["benches"][name]
+        assert entry["speedup_vs_seed"] >= REQUIRED_SPEEDUP

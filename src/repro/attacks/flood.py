@@ -32,12 +32,18 @@ from repro.net.address import IPAddress
 from repro.net.flowlabel import FlowLabel
 from repro.net.packet import Packet, Protocol
 from repro.router.nodes import Host
-from repro.sim.process import PeriodicProcess
+from repro.sim.process import BatchedProcess, PeriodicProcess
 from repro.sim.randomness import SeededRandom
 
 
 class FloodAttack:
-    """A constant-rate flood from one host toward one victim address."""
+    """A constant-rate flood from one host toward one victim address.
+
+    Emission is batched: one wakeup pre-schedules a train of packet sends
+    with the correct inter-packet spacing instead of paying full periodic
+    bookkeeping per packet, and each packet is cloned from a prebuilt
+    template rather than reconstructed field by field.
+    """
 
     def __init__(
         self,
@@ -51,6 +57,7 @@ class FloodAttack:
         start_time: float = 0.0,
         duration: Optional[float] = None,
         flow_tag: str = "attack",
+        batch_size: int = 64,
     ) -> None:
         if rate_pps <= 0:
             raise ValueError("rate_pps must be positive")
@@ -66,11 +73,14 @@ class FloodAttack:
         self.packets_sent = 0
         self.packets_suppressed = 0
         self._stopped_labels: List[FlowLabel] = []
-        self._process = PeriodicProcess(
+        self._template: Optional[Packet] = None
+        self._send = attacker.send  # bound once; this fires per packet
+        self._process = BatchedProcess(
             attacker.sim,
             interval=1.0 / rate_pps,
             callback=self._emit,
             start_delay=start_time,
+            batch_size=batch_size,
             name=f"flood-{attacker.name}",
         )
 
@@ -110,12 +120,26 @@ class FloodAttack:
     # emission
     # ------------------------------------------------------------------
     def _emit(self) -> None:
-        packet = self._build_packet()
-        packet.created_at = self.attacker.sim.now
-        if self.attacker.send(packet):
+        template = self._template
+        # Inline the common template-clone case; _next_packet stays the
+        # override point for variants with per-packet headers.
+        packet = template.clone() if template is not None else self._next_packet()
+        if self._send(packet):
             self.packets_sent += 1
         else:
             self.packets_suppressed += 1
+
+    def _next_packet(self) -> Packet:
+        """The per-emission packet; clones a cached template on the hot path.
+
+        Subclasses whose packets differ per emission (spoofed sources)
+        override this; subclasses whose headers change over time (protocol
+        switching) invalidate :attr:`_template` instead.
+        """
+        template = self._template
+        if template is None:
+            template = self._template = self._build_packet()
+        return template.clone()
 
     def _build_packet(self) -> Packet:
         return Packet.data(
@@ -154,6 +178,11 @@ class SpoofedFloodAttack(FloodAttack):
         self._rng = rng or SeededRandom(hash(attacker.name) & 0x7FFFFFFF,
                                         name=f"spoof-{attacker.name}")
         self._spoof_pool = [IPAddress.parse(a) for a in spoof_pool] if spoof_pool else []
+
+    def _next_packet(self) -> Packet:
+        # Every packet carries a freshly drawn source, so there is no
+        # reusable template for this variant.
+        return self._build_packet()
 
     def _build_packet(self) -> Packet:
         claimed = self._pick_spoofed_source()
@@ -224,6 +253,7 @@ class ProtocolSwitchingAttack(FloodAttack):
         self._variant_index = (self._variant_index + 1) % len(self.VARIANTS)
         self.switches += 1
         self.protocol, self.dst_port = self.VARIANTS[self._variant_index]
+        self._template = None  # headers changed; next emission rebuilds it
         # Restart emission if a per-incarnation filter paused the previous flow.
         if not self._process.running:
             self._process.start()

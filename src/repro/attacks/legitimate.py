@@ -19,7 +19,7 @@ from typing import Optional, Union
 from repro.net.address import IPAddress
 from repro.net.packet import Packet, Protocol
 from repro.router.nodes import Host
-from repro.sim.process import PeriodicProcess
+from repro.sim.process import BatchedProcess
 from repro.sim.randomness import SeededRandom
 
 
@@ -55,7 +55,10 @@ class LegitimateTraffic:
         self.packets_received = 0
         self.bytes_received = 0
         self._receiver_hooked = False
-        self._process = PeriodicProcess(
+        self._flow_tag = f"legit-{sender.name}"
+        self._template: Optional[Packet] = None
+        self._send = sender.send  # bound once; this fires per packet
+        self._process = BatchedProcess(
             sender.sim, 1.0 / rate_pps, self._emit,
             start_delay=start_time, name=f"legit-{sender.name}",
         )
@@ -112,21 +115,23 @@ class LegitimateTraffic:
     # internals
     # ------------------------------------------------------------------
     def _emit(self) -> None:
-        packet = Packet.data(
-            src=self.sender.address,
-            dst=self.destination,
-            protocol=self.protocol,
-            dst_port=self.dst_port,
-            size=self.packet_size,
-            flow_tag=f"legit-{self.sender.name}",
-        )
-        packet.created_at = self.sender.sim.now
+        template = self._template
+        if template is None:
+            template = self._template = Packet.data(
+                src=self.sender.address,
+                dst=self.destination,
+                protocol=self.protocol,
+                dst_port=self.dst_port,
+                size=self.packet_size,
+                flow_tag=self._flow_tag,
+            )
+        packet = template.clone()
         self.packets_offered += 1
-        if self.sender.send(packet):
+        if self._send(packet):  # send() stamps created_at
             self.packets_sent += 1
 
     def _count_delivery(self, packet: Packet) -> None:
-        if packet.flow_tag == f"legit-{self.sender.name}":
+        if packet.flow_tag == self._flow_tag:
             self.packets_received += 1
             self.bytes_received += packet.size
 

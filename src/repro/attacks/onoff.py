@@ -22,7 +22,7 @@ from repro.net.address import IPAddress
 from repro.net.flowlabel import FlowLabel
 from repro.net.packet import Packet, Protocol
 from repro.router.nodes import Host
-from repro.sim.process import PeriodicProcess, Timer
+from repro.sim.process import BatchedProcess, Timer
 
 
 class OnOffAttack:
@@ -58,7 +58,9 @@ class OnOffAttack:
         self.packets_suppressed = 0
         self.cycles_completed = 0
         self._stopped = False
-        self._emitter = PeriodicProcess(
+        self._template: Optional[Packet] = None
+        self._send = attacker.send  # bound once; this fires per packet
+        self._emitter = BatchedProcess(
             attacker.sim, 1.0 / rate_pps, self._emit,
             name=f"onoff-{attacker.name}",
         )
@@ -126,15 +128,17 @@ class OnOffAttack:
     # emission
     # ------------------------------------------------------------------
     def _emit(self) -> None:
-        packet = Packet.data(
-            src=self.attacker.address,
-            dst=self.victim,
-            protocol=self.protocol,
-            size=self.packet_size,
-            flow_tag="onoff-attack",
-        )
-        packet.created_at = self.attacker.sim.now
-        if self.attacker.send(packet):
+        template = self._template
+        if template is None:
+            template = self._template = Packet.data(
+                src=self.attacker.address,
+                dst=self.victim,
+                protocol=self.protocol,
+                size=self.packet_size,
+                flow_tag="onoff-attack",
+            )
+        packet = template.clone()
+        if self._send(packet):  # send() stamps created_at
             self.packets_sent += 1
         else:
             self.packets_suppressed += 1

@@ -7,6 +7,7 @@ three scenario families behind the benchmarks::
     python -m repro flood    --duration 10 --attack-pps 1500
     python -m repro onoff    --duration 20 --no-shadow
     python -m repro resources --role victim --rate 100
+    python -m repro bench    --output BENCH_engine.json
 
 Each subcommand prints a small result table and exits 0; `--json` switches
 the output to machine-readable JSON for scripting.
@@ -119,6 +120,44 @@ def run_resources(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_bench(args: argparse.Namespace) -> int:
+    """Engine throughput benchmarks; optionally writes BENCH_engine.json."""
+    from repro.perf.bench import BENCH_NAMES, calibrate, run_benches, write_bench_json
+
+    names = BENCH_NAMES if args.scenario == "all" else (args.scenario,)
+    calibration = calibrate()
+    results = run_benches(names, repeats=args.repeats)
+    if args.output:
+        doc = write_bench_json(args.output, results, calibration=calibration)
+    else:
+        doc = {
+            "calibration_ops_per_sec": calibration,
+            "benches": {
+                r.name: {**r.__dict__,
+                         "speedup_vs_seed": r.speedup_vs_seed(calibration)}
+                for r in results
+            },
+        }
+    if args.json:
+        print(json.dumps(doc, indent=2, default=str))
+        return 0
+    table = ResultTable("Engine benchmarks",
+                        ["bench", "packets/s", "events/s", "wall s", "vs seed"])
+    for result in results:
+        speedup = result.speedup_vs_seed(calibration)
+        table.add_row(
+            result.name,
+            f"{result.packets_per_sec:,.0f}",
+            f"{result.events_per_sec:,.0f}",
+            f"{result.wall_seconds:.3f}",
+            f"{speedup:.2f}x" if speedup is not None else "-",
+        )
+    table.print()
+    print(f"calibration: {calibration:,.0f} ops/s"
+          + (f"; wrote {args.output}" if args.output else ""))
+    return 0
+
+
 # ----------------------------------------------------------------------
 # argument parsing
 # ----------------------------------------------------------------------
@@ -159,6 +198,18 @@ def build_parser() -> argparse.ArgumentParser:
     resources.add_argument("--duration", type=float, default=5.0)
     resources.add_argument("--filter-timeout", type=float, default=20.0)
     resources.set_defaults(func=run_resources)
+
+    bench = subparsers.add_parser(
+        "bench", help="engine throughput benchmarks (see PERFORMANCE.md)")
+    bench.add_argument("--scenario", default="all",
+                       choices=("all", "flood", "flood_heavy", "scaling"),
+                       help="which benchmark to run")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="runs per benchmark; the fastest is reported")
+    bench.add_argument("--output", default="",
+                       help="write results to this JSON file "
+                            "(e.g. BENCH_engine.json)")
+    bench.set_defaults(func=run_bench)
     return parser
 
 

@@ -70,6 +70,18 @@ class IPAddress:
         """True when this address falls inside ``prefix``."""
         return prefix.contains(self)
 
+    # Addresses key filter-table indexes, routing caches and host address
+    # sets, so equality and hashing sit on the per-packet fast path.  The
+    # dataclass-generated versions build a (value,) tuple per call; these
+    # go straight to the int.
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is IPAddress:
+            return self.value == other.value
+        return NotImplemented
+
 
 @dataclass(frozen=True)
 class Prefix:
@@ -81,7 +93,13 @@ class Prefix:
     def __post_init__(self) -> None:
         if not 0 <= self.length <= 32:
             raise ValueError(f"prefix length out of range: {self.length}")
-        if self.network.value & ~self.mask & _MAX_IPV4:
+        # The mask is consulted per packet by ingress filters and routing, so
+        # it is computed once here (not a field: equality and repr stay on
+        # (network, length) alone; object.__setattr__ because frozen).
+        mask = (_MAX_IPV4 << (32 - self.length)) & _MAX_IPV4 if self.length else 0
+        object.__setattr__(self, "_mask", mask)
+        object.__setattr__(self, "_network_value", self.network.value)
+        if self.network.value & ~mask & _MAX_IPV4:
             raise ValueError(
                 f"network {self.network} has host bits set for /{self.length}"
             )
@@ -99,9 +117,7 @@ class Prefix:
     @property
     def mask(self) -> int:
         """The netmask as a 32-bit integer."""
-        if self.length == 0:
-            return 0
-        return (_MAX_IPV4 << (32 - self.length)) & _MAX_IPV4
+        return self._mask
 
     @property
     def num_addresses(self) -> int:
@@ -110,8 +126,10 @@ class Prefix:
 
     def contains(self, address: Union[IPAddress, str, int]) -> bool:
         """True when ``address`` falls inside this prefix."""
+        if address.__class__ is IPAddress:
+            return (address.value & self._mask) == self._network_value
         addr = IPAddress.parse(address)
-        return (addr.value & self.mask) == self.network.value
+        return (addr.value & self._mask) == self._network_value
 
     def overlaps(self, other: "Prefix") -> bool:
         """True when the two prefixes share any address."""

@@ -107,16 +107,33 @@ class FlowLabel:
     # matching
     # ------------------------------------------------------------------
     def matches(self, packet) -> bool:
-        """True when ``packet`` (anything with src/dst/protocol/ports) matches this label."""
-        if not _pattern_matches(self.src, getattr(packet, "src", None)):
+        """True when ``packet`` (anything with src/dst/protocol/ports) matches this label.
+
+        This runs once per forwarded packet per candidate filter, so the
+        pattern helpers are inlined: the common concrete-address case is a
+        single comparison per field.
+        """
+        src = self.src
+        if src is not None:
+            packet_src = packet.src
+            if src.__class__ is Prefix:
+                if packet_src is None or not src.contains(packet_src):
+                    return False
+            elif packet_src != src:
+                return False
+        dst = self.dst
+        if dst is not None:
+            packet_dst = packet.dst
+            if dst.__class__ is Prefix:
+                if packet_dst is None or not dst.contains(packet_dst):
+                    return False
+            elif packet_dst != dst:
+                return False
+        if self.protocol is not None and packet.protocol != self.protocol:
             return False
-        if not _pattern_matches(self.dst, getattr(packet, "dst", None)):
+        if self.src_port is not None and packet.src_port != self.src_port:
             return False
-        if self.protocol is not None and getattr(packet, "protocol", None) != self.protocol:
-            return False
-        if self.src_port is not None and getattr(packet, "src_port", None) != self.src_port:
-            return False
-        if self.dst_port is not None and getattr(packet, "dst_port", None) != self.dst_port:
+        if self.dst_port is not None and packet.dst_port != self.dst_port:
             return False
         return True
 
@@ -137,6 +154,30 @@ class FlowLabel:
         if self.dst_port is not None and self.dst_port != other.dst_port:
             return False
         return True
+
+    @property
+    def exact_key(self):
+        """A 64-bit ``src<<32 | dst`` integer when both ends are concrete.
+
+        A label whose source and destination are single addresses (or /32
+        prefixes, which match exactly one address) can be indexed by this
+        key in a hash table, giving filter tables an O(1) per-packet lookup
+        — and an ``int`` key hashes in C, with no per-probe Python calls.
+        Returns ``None`` for labels that wildcard or prefix-match either
+        end — those stay on the residual scan path.
+        """
+        src, dst = self.src, self.dst
+        if isinstance(src, Prefix):
+            if src.length != 32:
+                return None
+            src = src.network
+        if isinstance(dst, Prefix):
+            if dst.length != 32:
+                return None
+            dst = dst.network
+        if src is None or dst is None:
+            return None
+        return (src.value << 32) | dst.value
 
     @property
     def wildcard_count(self) -> int:

@@ -49,7 +49,14 @@ class LinkStats:
 
 
 class _Pipe:
-    """One direction of a link: queue -> serializer -> propagation -> sink."""
+    """One direction of a link: queue -> serializer -> propagation -> sink.
+
+    The serializer is lazy: an idle pipe transmits immediately and schedules
+    only the delivery event; the queue-drain wakeup exists only while
+    packets are actually waiting.  An uncongested hop therefore costs one
+    simulator event per packet instead of two, and both event kinds ride
+    the fire-and-forget scheduling path (no cancellable event objects).
+    """
 
     def __init__(
         self,
@@ -66,44 +73,85 @@ class _Pipe:
         self._delay = delay
         self._queue = queue
         self._link = link
-        self._busy = False
+        #: Absolute time at which the serializer frees up.
+        self._busy_until = -1.0
+        #: True while a drain wakeup is pending for queued packets.
+        self._drain_pending = False
         self.stats = LinkStats()
+        # Idle-path caches: these never change after construction.
+        self._qstats = queue.stats
+        self._cap_bytes = queue.capacity_bytes
+        self._zero_packet_cap = queue.capacity_packets == 0
 
     @property
     def queue(self) -> DropTailQueue:
         return self._queue
 
+    @property
+    def _busy(self) -> bool:
+        """True while a packet is being serialized (kept for introspection)."""
+        return self._busy_until > self._sim.now
+
     def send(self, packet: Packet) -> bool:
         """Offer a packet to this direction; False means it was dropped."""
-        self.stats.packets_sent += 1
+        stats = self.stats
+        stats.packets_sent += 1
+        sim = self._sim
+        now = sim._now
+        if self._busy_until <= now and not self._drain_pending:
+            # Idle pipe with nothing waiting: skip the queue and serialize
+            # right away.  The drain-pending check matters at the exact
+            # serializer-free instant: a packet arriving at t == busy_until
+            # while others are still queued must line up behind them, not
+            # overtake on the bypass.  The queue stats still record the
+            # instantaneous pass-through so counters match the eager
+            # enqueue-then-dequeue formulation exactly.
+            size = packet.size
+            qstats = self._qstats
+            if size > self._cap_bytes or self._zero_packet_cap:
+                qstats.dropped += 1
+                qstats.bytes_dropped += size
+                stats.packets_dropped += 1
+                return False
+            qstats.enqueued += 1
+            qstats.bytes_enqueued += size
+            qstats.dequeued += 1
+            if qstats.peak_depth_packets < 1:
+                qstats.peak_depth_packets = 1
+            if qstats.peak_depth_bytes < size:
+                qstats.peak_depth_bytes = size
+            tx_time = (size * 8) / self._bandwidth if self._bandwidth > 0 else 0.0
+            stats.busy_time += tx_time
+            self._busy_until = now + tx_time
+            sim.schedule_fire(tx_time + self._delay, self._deliver, packet)
+            return True
         if not self._queue.enqueue(packet):
-            self.stats.packets_dropped += 1
+            stats.packets_dropped += 1
             return False
-        if not self._busy:
-            self._start_transmission()
+        if not self._drain_pending:
+            self._drain_pending = True
+            sim.schedule_fire(self._busy_until - now, self._drain)
         return True
 
-    def _start_transmission(self) -> None:
+    def _drain(self) -> None:
+        """Serializer wakeup: start transmitting the queue head."""
+        self._drain_pending = False
         packet = self._queue.dequeue()
         if packet is None:
-            self._busy = False
             return
-        self._busy = True
         tx_time = (packet.size * 8) / self._bandwidth if self._bandwidth > 0 else 0.0
         self.stats.busy_time += tx_time
-        # Delivery happens after serialization + propagation; the pipe frees
-        # up after serialization alone.
-        self._sim.schedule(tx_time, self._finish_transmission, name="link-tx")
-        self._sim.schedule(tx_time + self._delay, self._deliver, packet, name="link-deliver")
-
-    def _finish_transmission(self) -> None:
-        self._busy = False
+        sim = self._sim
+        self._busy_until = sim._now + tx_time
+        sim.schedule_fire(tx_time + self._delay, self._deliver, packet)
         if not self._queue.is_empty:
-            self._start_transmission()
+            self._drain_pending = True
+            sim.schedule_fire(tx_time, self._drain)
 
     def _deliver(self, packet: Packet) -> None:
-        self.stats.packets_delivered += 1
-        self.stats.bytes_delivered += packet.size
+        stats = self.stats
+        stats.packets_delivered += 1
+        stats.bytes_delivered += packet.size
         self._sink.receive_packet(packet, self._link)
 
 
@@ -147,8 +195,11 @@ class Link:
     # ------------------------------------------------------------------
     def send(self, packet: Packet, sender: PacketSink) -> bool:
         """Transmit ``packet`` from ``sender`` toward the other endpoint."""
-        pipe = self._pipe_for_sender(sender)
-        return pipe.send(packet)
+        if sender is self.a:
+            return self._pipe_to_b.send(packet)
+        if sender is self.b:
+            return self._pipe_to_a.send(packet)
+        raise ValueError(f"{getattr(sender, 'name', sender)} is not attached to link {self.name}")
 
     def other_end(self, node: PacketSink) -> PacketSink:
         """The endpoint that is not ``node``."""

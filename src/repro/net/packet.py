@@ -15,13 +15,19 @@ A :class:`Packet` carries
 The ``spoofed_src`` field records the *true* origin of a spoofed packet so
 experiments can account honestly for what ingress filtering would have seen;
 AITF nodes themselves never read it.
+
+Packets are the single most-allocated object in the simulator, so the class
+is ``__slots__``-based (no per-instance ``__dict__``), route-record stamps
+are interned (every packet crossing a router shares one string object per
+router name), and :meth:`clone` duplicates a template packet by direct slot
+assignment without re-running constructor plumbing.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
+from sys import intern as _intern
 from typing import Any, List, Optional, Tuple
 
 from repro.net.address import IPAddress
@@ -53,31 +59,58 @@ class PacketKind(str, enum.Enum):
 
 
 _packet_ids = itertools.count(1)
+_next_packet_id = _packet_ids.__next__
 
 #: Default data packet size in bytes (a full Ethernet frame's worth of payload).
 DEFAULT_DATA_SIZE = 1000
 #: AITF control messages are small (a flow label, a type and a nonce).
 CONTROL_MESSAGE_SIZE = 64
 
+_DATA = PacketKind.DATA
+_UDP = Protocol.UDP.value
 
-@dataclass
+
 class Packet:
     """A single packet in flight."""
 
-    src: IPAddress
-    dst: IPAddress
-    protocol: str = Protocol.UDP.value
-    src_port: Optional[int] = None
-    dst_port: Optional[int] = None
-    size: int = DEFAULT_DATA_SIZE
-    kind: PacketKind = PacketKind.DATA
-    payload: Any = None
-    created_at: float = 0.0
-    route_record: List[str] = field(default_factory=list)
-    spoofed_src: Optional[IPAddress] = None
-    ttl: int = 64
-    flow_tag: str = ""
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: ``_edge_mark`` is the scratch slot for the probabilistic-traceback
+    #: ablation (see :mod:`repro.traceback.edge_marking`); slotted classes
+    #: cannot grow ad-hoc attributes, so the extension point is declared here.
+    __slots__ = ("src", "dst", "protocol", "src_port", "dst_port", "size",
+                 "kind", "payload", "created_at", "route_record",
+                 "spoofed_src", "ttl", "flow_tag", "packet_id", "_edge_mark")
+
+    def __init__(
+        self,
+        src: IPAddress,
+        dst: IPAddress,
+        protocol: str = _UDP,
+        src_port: Optional[int] = None,
+        dst_port: Optional[int] = None,
+        size: int = DEFAULT_DATA_SIZE,
+        kind: PacketKind = _DATA,
+        payload: Any = None,
+        created_at: float = 0.0,
+        route_record: Optional[List[str]] = None,
+        spoofed_src: Optional[IPAddress] = None,
+        ttl: int = 64,
+        flow_tag: str = "",
+        packet_id: Optional[int] = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.protocol = protocol
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.size = size
+        self.kind = kind
+        self.payload = payload
+        self.created_at = created_at
+        self.route_record = route_record if route_record is not None else []
+        self.spoofed_src = spoofed_src
+        self.ttl = ttl
+        self.flow_tag = flow_tag
+        self.packet_id = packet_id if packet_id is not None else _next_packet_id()
 
     # ------------------------------------------------------------------
     # constructors
@@ -88,7 +121,7 @@ class Packet:
         src: IPAddress,
         dst: IPAddress,
         *,
-        protocol: str = Protocol.UDP.value,
+        protocol: str = _UDP,
         src_port: Optional[int] = None,
         dst_port: Optional[int] = None,
         size: int = DEFAULT_DATA_SIZE,
@@ -104,7 +137,7 @@ class Packet:
             src_port=src_port,
             dst_port=dst_port,
             size=size,
-            kind=PacketKind.DATA,
+            kind=_DATA,
             created_at=created_at,
             flow_tag=flow_tag,
             spoofed_src=spoofed_src,
@@ -139,9 +172,13 @@ class Packet:
 
         Border routers stamp every packet they forward.  Duplicate
         consecutive stamps (a packet bouncing within one AD) are collapsed.
+        Stamps are interned so every packet's record shares one string
+        object per router.
         """
-        if not self.route_record or self.route_record[-1] != router_name:
-            self.route_record.append(router_name)
+        router_name = _intern(router_name)
+        record = self.route_record
+        if not record or record[-1] != router_name:
+            record.append(router_name)
 
     @property
     def recorded_path(self) -> Tuple[str, ...]:
@@ -154,7 +191,7 @@ class Packet:
     @property
     def is_control(self) -> bool:
         """True for AITF protocol messages."""
-        return self.kind is not PacketKind.DATA
+        return self.kind is not _DATA
 
     @property
     def is_spoofed(self) -> bool:
@@ -166,27 +203,39 @@ class Packet:
         """The actual origin of the packet (equals ``src`` when not spoofed)."""
         return self.spoofed_src if self.spoofed_src is not None else self.src
 
+    def clone(self) -> "Packet":
+        """A fresh-identity copy for template-based generation.
+
+        Duplicates every header field by direct slot assignment — no
+        constructor defaults, no field re-validation — and gives the copy a
+        new ``packet_id`` and an empty route record.  Traffic generators
+        build one template per flow and clone it per emission.
+        """
+        packet = Packet.__new__(Packet)
+        packet.src = self.src
+        packet.dst = self.dst
+        packet.protocol = self.protocol
+        packet.src_port = self.src_port
+        packet.dst_port = self.dst_port
+        packet.size = self.size
+        packet.kind = self.kind
+        packet.payload = self.payload
+        packet.created_at = self.created_at
+        packet.route_record = []
+        packet.spoofed_src = self.spoofed_src
+        packet.ttl = self.ttl
+        packet.flow_tag = self.flow_tag
+        packet.packet_id = _next_packet_id()
+        return packet
+
     def copy_for_forwarding(self) -> "Packet":
         """Packets are mutated in place as they are forwarded; links do not copy.
 
         Generators that want to reuse a template packet call this to get an
         independent instance with a fresh id and an empty route record.
         """
-        return Packet(
-            src=self.src,
-            dst=self.dst,
-            protocol=self.protocol,
-            src_port=self.src_port,
-            dst_port=self.dst_port,
-            size=self.size,
-            kind=self.kind,
-            payload=self.payload,
-            created_at=self.created_at,
-            spoofed_src=self.spoofed_src,
-            ttl=self.ttl,
-            flow_tag=self.flow_tag,
-        )
+        return self.clone()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        kind = "" if self.kind is PacketKind.DATA else f" {self.kind.value}"
+        kind = "" if self.kind is _DATA else f" {self.kind.value}"
         return f"Packet(#{self.packet_id} {self.src}->{self.dst} {self.protocol}{kind})"

@@ -24,14 +24,30 @@ class QueueStats:
     dropped: int = 0
     bytes_enqueued: int = 0
     bytes_dropped: int = 0
+    #: Packets discarded by an administrative flush (:meth:`DropTailQueue.clear`),
+    #: counted separately from tail drops: a flushed packet was already
+    #: accepted (it is in ``enqueued``), so folding it into ``dropped`` would
+    #: double-count it in the offered-load denominator.
+    flushed: int = 0
+    bytes_flushed: int = 0
     peak_depth_packets: int = 0
     peak_depth_bytes: int = 0
 
     @property
     def drop_rate(self) -> float:
-        """Fraction of offered packets that were dropped."""
+        """Fraction of offered packets that were dropped at the tail."""
         offered = self.enqueued + self.dropped
         return self.dropped / offered if offered else 0.0
+
+    @property
+    def packets_lost(self) -> int:
+        """Every packet this queue accepted or saw but never delivered."""
+        return self.dropped + self.flushed
+
+    @property
+    def bytes_lost(self) -> int:
+        """Bytes dropped at the tail plus bytes discarded by flushes."""
+        return self.bytes_dropped + self.bytes_flushed
 
 
 class DropTailQueue:
@@ -78,17 +94,29 @@ class DropTailQueue:
     # operations
     # ------------------------------------------------------------------
     def enqueue(self, packet: Packet) -> bool:
-        """Append a packet; returns False (and counts a drop) on overflow."""
-        if self.would_drop(packet):
-            self.stats.dropped += 1
-            self.stats.bytes_dropped += packet.size
+        """Append a packet; returns False (and counts a drop) on overflow.
+
+        The overflow test is inlined (rather than calling :meth:`would_drop`)
+        because every packet on every link goes through here.
+        """
+        stats = self.stats
+        size = packet.size
+        queue = self._queue
+        if (self._bytes + size > self.capacity_bytes
+                or (self.capacity_packets is not None
+                    and len(queue) >= self.capacity_packets)):
+            stats.dropped += 1
+            stats.bytes_dropped += size
             return False
-        self._queue.append(packet)
-        self._bytes += packet.size
-        self.stats.enqueued += 1
-        self.stats.bytes_enqueued += packet.size
-        self.stats.peak_depth_packets = max(self.stats.peak_depth_packets, len(self._queue))
-        self.stats.peak_depth_bytes = max(self.stats.peak_depth_bytes, self._bytes)
+        queue.append(packet)
+        new_bytes = self._bytes = self._bytes + size
+        stats.enqueued += 1
+        stats.bytes_enqueued += size
+        depth = len(queue)
+        if depth > stats.peak_depth_packets:
+            stats.peak_depth_packets = depth
+        if new_bytes > stats.peak_depth_bytes:
+            stats.peak_depth_bytes = new_bytes
         return True
 
     def dequeue(self) -> Optional[Packet]:
@@ -105,8 +133,16 @@ class DropTailQueue:
         return self._queue[0] if self._queue else None
 
     def clear(self) -> int:
-        """Discard everything queued; returns the number of packets discarded."""
+        """Discard everything queued; returns the number of packets discarded.
+
+        The discarded packets and bytes are accounted in
+        :attr:`QueueStats.flushed` / :attr:`QueueStats.bytes_flushed` so
+        goodput experiments that flush queues (e.g. around a disconnection)
+        do not under-report losses.
+        """
         discarded = len(self._queue)
+        self.stats.flushed += discarded
+        self.stats.bytes_flushed += self._bytes
         self._queue.clear()
         self._bytes = 0
         return discarded

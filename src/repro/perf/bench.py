@@ -1,0 +1,247 @@
+"""Canonical engine benchmarks and the recorded seed baseline.
+
+Each benchmark builds a scenario, runs it for a fixed simulated horizon and
+reports throughput in *generated packets per wall-clock second* (plus events
+per second for the event-loop view).  The scenarios are deterministic, so
+repeated runs measure machine speed, not workload variance; ``run_bench``
+takes the best of ``repeats`` runs to shave scheduler noise.
+
+The recorded **seed baseline** below was measured on the pre-overhaul
+engine (dataclass events, kwargs scheduling, linear filter scans, one event
+per generated packet, eager link serializer) with this exact harness,
+interleaved seed/new on the same machine to control for load.  The
+:func:`calibrate` probe — a fixed pure-Python heap/attribute workload —
+was recorded alongside it so the ``>=3x`` regression gate can normalise for
+machine speed instead of flaking on slower or faster hardware.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+#: Benchmarks, in the order ``repro bench`` runs them.
+BENCH_NAMES: Tuple[str, ...] = ("flood", "flood_heavy", "scaling")
+
+#: Schema tag written to BENCH_engine.json.
+BENCH_SCHEMA = "bench_engine/v1"
+
+#: Throughput of the seed (pre-overhaul) engine, recorded with this harness.
+#: ``calibration_ops_per_sec`` is what :func:`calibrate` reported on the
+#: recording machine at the same moment; comparisons scale by the ratio of
+#: the current calibration to this one.
+SEED_BASELINE: Dict[str, Dict[str, float]] = {
+    "flood": {"packets_per_sec": 32183.0, "calibration_ops_per_sec": 2826511.0},
+    "flood_heavy": {"packets_per_sec": 33247.0, "calibration_ops_per_sec": 2826511.0},
+    "scaling": {"packets_per_sec": 44214.0, "calibration_ops_per_sec": 2826511.0},
+}
+
+
+@dataclass
+class BenchResult:
+    """One benchmark measurement."""
+
+    name: str
+    packets: int
+    events: int
+    wall_seconds: float
+    packets_per_sec: float
+    events_per_sec: float
+    params: Dict[str, float] = field(default_factory=dict)
+
+    def speedup_vs_seed(self, calibration: Optional[float] = None) -> Optional[float]:
+        """Throughput ratio against the recorded seed baseline.
+
+        When ``calibration`` (the current machine's :func:`calibrate` score)
+        is given, the baseline is first scaled to this machine's speed.
+        Returns None for benchmarks without a recorded baseline.
+        """
+        baseline = SEED_BASELINE.get(self.name)
+        if baseline is None:
+            return None
+        expected = baseline["packets_per_sec"]
+        if calibration is not None:
+            ratio = calibration / baseline["calibration_ops_per_sec"]
+            # Clamp: calibration is a coarse probe; beyond 4x either way we
+            # trust it only directionally.
+            ratio = min(4.0, max(0.25, ratio))
+            expected *= ratio
+        return self.packets_per_sec / expected
+
+
+# ----------------------------------------------------------------------
+# calibration
+# ----------------------------------------------------------------------
+class _CalProbe:
+    __slots__ = ("x",)
+
+    def __init__(self) -> None:
+        self.x = 0
+
+    def bump(self) -> None:
+        self.x += 1
+
+
+def calibrate(iterations: int = 200_000) -> float:
+    """Machine-speed probe: ops/sec on a fixed heap + attribute workload.
+
+    The workload mimics what the simulator actually does per event — heap
+    pushes/pops, slotted attribute updates, dict stores — so its score moves
+    with the same machine characteristics the benchmarks depend on.  Runs
+    the loop twice and keeps the faster pass.
+    """
+    best = 0.0
+    for _ in range(2):
+        probe = _CalProbe()
+        heap: List[Tuple[int, int]] = []
+        push, pop = heapq.heappush, heapq.heappop
+        d: Dict[int, int] = {}
+        start = time.perf_counter()
+        for i in range(iterations):
+            push(heap, (i & 1023, i))
+            probe.bump()
+            if i & 1:
+                pop(heap)
+            d[i & 8191] = i
+        elapsed = time.perf_counter() - start
+        best = max(best, (2 * iterations) / elapsed)
+    return best
+
+
+# ----------------------------------------------------------------------
+# scenario workloads
+# ----------------------------------------------------------------------
+def _run_flood(attack_pps: float, duration: float) -> Tuple[int, int]:
+    """Canonical Figure-1 flood defense.  Returns (packets, events)."""
+    from repro.scenarios.flood_defense import FloodDefenseScenario
+
+    scenario = FloodDefenseScenario(attack_rate_pps=attack_pps)
+    scenario.run(duration=duration)
+    packets = (scenario.attack.packets_sent + scenario.attack.packets_suppressed
+               + scenario.legit.packets_offered)
+    return packets, scenario.sim.events_processed
+
+
+def _run_scaling(autonomous_systems: int, duration: float) -> Tuple[int, int]:
+    """E10-style power-law internet with a zombie fleet flooding victims.
+
+    Zombies are non-cooperative (they keep flooding after being told to
+    stop), so their gateways block at wire speed for the whole horizon —
+    the sustained-load regime the engine has to survive at scale.
+    """
+    from repro.attacks.flood import FloodAttack
+    from repro.core.config import AITFConfig
+    from repro.core.deployment import deploy_aitf
+    from repro.core.detection import ExplicitDetector
+    from repro.sim.randomness import SeededRandom
+    from repro.topology.powerlaw import build_powerlaw_internet
+
+    internet = build_powerlaw_internet(autonomous_systems=autonomous_systems,
+                                       hosts_per_leaf=2, seed=11)
+    config = AITFConfig(filter_timeout=30.0, temporary_filter_timeout=0.6)
+    deployment = deploy_aitf(internet.all_nodes(), config)
+    rng = SeededRandom(11, name="bench-scaling")
+
+    hosts = list(internet.hosts)
+    rng.shuffle(hosts)
+    victims = hosts[:3]
+    zombies = hosts[3:3 + max(3, int(len(hosts) * 0.3))]
+
+    attacks = []
+    for index, zombie in enumerate(zombies):
+        victim = victims[index % len(victims)]
+        deployment.set_cooperative(zombie.name, False)
+        attack = FloodAttack(zombie, victim.address, rate_pps=400.0,
+                             start_time=0.1 + 0.01 * index)
+        attacks.append(attack)
+        attack.start()
+    for victim in victims:
+        detector = ExplicitDetector(deployment.host_agent(victim.name),
+                                    detection_delay=0.05)
+        for zombie in zombies:
+            detector.mark_undesired(zombie.address)
+
+    internet.sim.run(until=duration)
+    packets = sum(a.packets_sent + a.packets_suppressed for a in attacks)
+    return packets, internet.sim.events_processed
+
+
+#: name -> (workload callable producing (packets, events), default params)
+_WORKLOADS: Dict[str, Tuple[Callable[..., Tuple[int, int]], Dict[str, float]]] = {
+    "flood": (_run_flood, {"attack_pps": 1500.0, "duration": 10.0}),
+    "flood_heavy": (_run_flood, {"attack_pps": 5000.0, "duration": 10.0}),
+    "scaling": (_run_scaling, {"autonomous_systems": 30, "duration": 6.0}),
+}
+
+
+# ----------------------------------------------------------------------
+# runners
+# ----------------------------------------------------------------------
+def run_bench(name: str, repeats: int = 3, warmup: bool = True,
+              **overrides) -> BenchResult:
+    """Run one named benchmark; keeps the best (fastest) of ``repeats``."""
+    try:
+        workload, defaults = _WORKLOADS[name]
+    except KeyError:
+        raise ValueError(f"unknown benchmark {name!r}; choose from {BENCH_NAMES}")
+    params = {**defaults, **overrides}
+    if warmup:
+        short = dict(params)
+        short["duration"] = min(2.0, params["duration"])
+        workload(**short)
+    best: Optional[BenchResult] = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        packets, events = workload(**params)
+        wall = time.perf_counter() - start
+        result = BenchResult(
+            name=name,
+            packets=packets,
+            events=events,
+            wall_seconds=wall,
+            packets_per_sec=packets / wall if wall > 0 else 0.0,
+            events_per_sec=events / wall if wall > 0 else 0.0,
+            params=params,
+        )
+        if best is None or result.packets_per_sec > best.packets_per_sec:
+            best = result
+    assert best is not None
+    return best
+
+
+def run_benches(names: Optional[Iterable[str]] = None,
+                repeats: int = 3) -> List[BenchResult]:
+    """Run several benchmarks (all of :data:`BENCH_NAMES` by default)."""
+    return [run_bench(name, repeats=repeats) for name in (names or BENCH_NAMES)]
+
+
+def write_bench_json(path: str, results: Iterable[BenchResult],
+                     calibration: Optional[float] = None) -> Dict:
+    """Write ``BENCH_engine.json``: current numbers plus the seed baseline.
+
+    Returns the document that was written, so callers (and tests) can reuse
+    it without re-reading the file.
+    """
+    if calibration is None:
+        calibration = calibrate()
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "python": platform.python_version(),
+        "calibration_ops_per_sec": calibration,
+        "seed_baseline": SEED_BASELINE,
+        "benches": {},
+    }
+    for result in results:
+        entry = asdict(result)
+        speedup = result.speedup_vs_seed(calibration)
+        if speedup is not None:
+            entry["speedup_vs_seed"] = round(speedup, 3)
+        doc["benches"][result.name] = entry
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return doc

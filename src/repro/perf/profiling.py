@@ -1,0 +1,45 @@
+"""cProfile helpers for hunting the next fast-path bottleneck.
+
+The workflow (documented in PERFORMANCE.md): run a scenario under
+:func:`profile_callable`, read the top entries, fix the biggest one,
+re-measure with ``repro bench``.  Keeping the wrapper here means every
+session profiles the same way and the numbers stay comparable.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Any, Callable, Tuple
+
+
+def profile_callable(func: Callable[..., Any], *args: Any,
+                     **kwargs: Any) -> Tuple[Any, pstats.Stats]:
+    """Run ``func`` under cProfile; returns (func's result, stats)."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = func(*args, **kwargs)
+    finally:
+        profiler.disable()
+    return result, pstats.Stats(profiler)
+
+
+def format_hotspots(stats: pstats.Stats, top: int = 20,
+                    sort: str = "tottime") -> str:
+    """The top ``top`` profile rows as a printable table."""
+    buffer = io.StringIO()
+    stats.stream = buffer  # pstats prints to its stream attribute
+    stats.sort_stats(sort).print_stats(top)
+    return buffer.getvalue()
+
+
+def profile_flood(attack_pps: float = 5000.0, duration: float = 10.0,
+                  top: int = 20) -> str:
+    """Profile the canonical flood-defense scenario; returns the hotspot table."""
+    from repro.scenarios.flood_defense import FloodDefenseScenario
+
+    scenario = FloodDefenseScenario(attack_rate_pps=attack_pps)
+    _, stats = profile_callable(scenario.run, duration=duration)
+    return format_hotspots(stats, top=top)

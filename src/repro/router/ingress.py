@@ -80,10 +80,13 @@ class IngressFilter:
         prefixes = self._allowed.get(id(link))
         if not prefixes:
             return True
-        self.stats.packets_checked += 1
-        if any(prefix.contains(packet.src) for prefix in prefixes):
-            self.stats.packets_passed += 1
-            return True
+        stats = self.stats
+        stats.packets_checked += 1
+        src_value = packet.src.value
+        for prefix in prefixes:
+            if (src_value & prefix._mask) == prefix._network_value:
+                stats.packets_passed += 1
+                return True
         self.stats.spoofed_detected += 1
         if self.enforce:
             self.stats.spoofed_dropped += 1

@@ -21,6 +21,7 @@ baselines.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Set, Union
 
@@ -35,6 +36,10 @@ from repro.sim.engine import Simulator
 PacketCallback = Callable[[Packet], None]
 ForwardObserver = Callable[[Packet, Link], None]
 ControlHandler = Callable[[Packet, Link], None]
+
+#: Module-local alias: enum member lookups cost an attribute access per
+#: packet on the forwarding path.
+_DATA = PacketKind.DATA
 
 
 @dataclass
@@ -59,7 +64,8 @@ class NetworkNode:
 
     def __init__(self, sim: Simulator, name: str, network: str = "") -> None:
         self.sim = sim
-        self.name = name
+        # Interned: route-record stamps compare and append this exact object.
+        self.name = sys.intern(name)
         #: The AITF network (Autonomous Domain) this node belongs to.
         self.network = network or name
         self.links: List[Link] = []
@@ -124,41 +130,45 @@ class NetworkNode:
     # ------------------------------------------------------------------
     def receive_packet(self, packet: Packet, link: Link) -> None:
         """Entry point called by links delivering a packet to this node."""
-        self.stats.packets_received += 1
-        self.stats.bytes_received += packet.size
-        if self.is_disconnected(link):
-            self.stats.packets_dropped_disconnected += 1
+        stats = self.stats
+        stats.packets_received += 1
+        stats.bytes_received += packet.size
+        if id(link) in self.disconnected_links:
+            stats.packets_dropped_disconnected += 1
             return
         self.handle_packet(packet, link)
 
     def handle_packet(self, packet: Packet, link: Link) -> None:
         """Dispatch an accepted packet.  Subclasses refine this."""
-        if self.owns_address(packet.dst):
+        # packet.dst is always an IPAddress, so the set probe needs no parse.
+        if packet.dst in self.addresses:
             self.deliver_locally(packet, link)
         else:
             self.forward_packet(packet, link)
 
     def deliver_locally(self, packet: Packet, link: Optional[Link]) -> None:
         """The packet is addressed to this node."""
-        self.stats.packets_delivered += 1
-        self.stats.bytes_delivered += packet.size
-        if packet.is_control and self.control_handler is not None:
+        stats = self.stats
+        stats.packets_delivered += 1
+        stats.bytes_delivered += packet.size
+        if packet.kind is not _DATA and self.control_handler is not None:
             self.control_handler(packet, link)
 
     def forward_packet(self, packet: Packet, incoming: Optional[Link]) -> None:
         """Route a transit packet toward its destination."""
+        stats = self.stats
         packet.ttl -= 1
         if packet.ttl <= 0:
-            self.stats.packets_dropped_ttl += 1
+            stats.packets_dropped_ttl += 1
             return
         out_link = self.routing.next_link(packet.dst)
         if out_link is None:
-            self.stats.packets_dropped_no_route += 1
+            stats.packets_dropped_no_route += 1
             return
-        if self.is_disconnected(out_link):
-            self.stats.packets_dropped_disconnected += 1
+        if id(out_link) in self.disconnected_links:
+            stats.packets_dropped_disconnected += 1
             return
-        self.stats.packets_forwarded += 1
+        stats.packets_forwarded += 1
         out_link.send(packet, self)
 
     # ------------------------------------------------------------------
@@ -166,10 +176,10 @@ class NetworkNode:
     # ------------------------------------------------------------------
     def originate_packet(self, packet: Packet) -> bool:
         """Send a packet created by this node."""
-        packet.created_at = self.sim.now
+        packet.created_at = self.sim._now
         self.stats.packets_originated += 1
         out_link = self.routing.next_link(packet.dst)
-        if out_link is None or self.is_disconnected(out_link):
+        if out_link is None or id(out_link) in self.disconnected_links:
             self.stats.packets_dropped_no_route += 1
             return False
         return out_link.send(packet, self)
@@ -202,23 +212,37 @@ class Host(NetworkNode):
         self.routing.set_default(link)
 
     def deliver_locally(self, packet: Packet, link: Optional[Link]) -> None:
-        super().deliver_locally(packet, link)
-        if not packet.is_control:
+        # Mirrors NetworkNode.deliver_locally inline: this runs once per
+        # delivered packet and is the goodput hot path.
+        stats = self.stats
+        stats.packets_delivered += 1
+        stats.bytes_delivered += packet.size
+        if packet.kind is _DATA:
             for callback in self._receive_callbacks:
                 callback(packet)
+        elif self.control_handler is not None:
+            self.control_handler(packet, link)
 
     def send(self, packet: Packet) -> bool:
         """Convenience wrapper used by traffic generators.
 
         Data packets pass the outbound guard first (control packets always
         go out, otherwise a host that filtered itself could never send or
-        answer AITF messages).
+        answer AITF messages).  The origination step is inlined — this is
+        the entry point for every generated packet (keep in sync with
+        :meth:`NetworkNode.originate_packet`).
         """
-        if not packet.is_control and self.outbound_guard is not None:
+        if packet.kind is _DATA and self.outbound_guard is not None:
             if not self.outbound_guard(packet):
                 self.stats_outbound_suppressed += 1
                 return False
-        return self.originate_packet(packet)
+        packet.created_at = self.sim._now
+        self.stats.packets_originated += 1
+        out_link = self.routing.next_link(packet.dst)
+        if out_link is None or id(out_link) in self.disconnected_links:
+            self.stats.packets_dropped_no_route += 1
+            return False
+        return out_link.send(packet, self)
 
 
 class BorderRouter(NetworkNode):
@@ -248,7 +272,7 @@ class BorderRouter(NetworkNode):
         super().__init__(sim, name, network)
         self.add_address(address)
         self.filter_table = FilterTable(
-            capacity=filter_capacity, clock=lambda: self.sim.now, name=name
+            capacity=filter_capacity, clock=lambda: sim._now, name=name
         )
         self.ingress = IngressFilter(enforce=ingress_enforce, name=name)
         #: Observers see every data packet the router is about to forward
@@ -288,15 +312,17 @@ class BorderRouter(NetworkNode):
     # pipeline
     # ------------------------------------------------------------------
     def handle_packet(self, packet: Packet, link: Link) -> None:
-        if self.owns_address(packet.dst):
+        if packet.dst in self.addresses:
             self.deliver_locally(packet, link)
             return
-        if packet.is_control:
+        if packet.kind is not _DATA:
             # Control traffic is forwarded without data-plane filtering so a
             # victim can always reach its gateway, and gateways each other.
             self.forward_packet(packet, link)
             return
-        if not self.ingress.check(packet, link):
+        ingress = self.ingress
+        if (ingress._allowed.get(id(link)) is not None
+                and not ingress.check(packet, link)):
             self.stats.packets_dropped_ingress += 1
             return
         blocking = self.filter_table.blocks(packet)
@@ -308,7 +334,12 @@ class BorderRouter(NetworkNode):
                 self.stats.packets_dropped_filter += 1
                 return
         if self.stamp_route_record:
-            packet.stamp_route(self.name)
+            # Inline stamp_route: self.name is interned at construction and
+            # this runs once per forwarded packet per router.
+            record = packet.route_record
+            name = self.name
+            if not record or record[-1] != name:
+                record.append(name)
         for observer in self.forward_observers:
             observer(packet, link)
         self.forward_packet(packet, link)

@@ -10,9 +10,12 @@ how real enterprise networks in the paper's Figure 1 are wired.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro.net.address import IPAddress, Prefix
+
+#: Cache-miss sentinel (None is a legal cached result: "no route").
+_MISS = object()
 
 
 @dataclass
@@ -33,8 +36,17 @@ class RoutingTable:
 
     def __init__(self, name: str = "") -> None:
         self.name = name
-        self._routes: List[Route] = []
+        #: Routes keyed by prefix (one route per prefix); the sorted scan
+        #: list is materialised lazily so topology builders can install
+        #: thousands of routes without a rebuild-and-resort per insert.
+        self._by_prefix: Dict[Prefix, Route] = {}
+        self._sorted: Optional[List[Route]] = None
         self._default: Optional[Route] = None
+        #: Memoized destination value (int) -> route.  Routes are static once
+        #: a topology is built, so the per-packet lookup collapses to one
+        #: int-keyed dict hit (C-level hashing); any table mutation
+        #: invalidates the whole memo.
+        self._cache: dict = {}
 
     # ------------------------------------------------------------------
     # population
@@ -42,44 +54,69 @@ class RoutingTable:
     def add_route(self, prefix: Union[str, Prefix], link, metric: int = 0) -> Route:
         """Add (or replace) a route for ``prefix`` via ``link``."""
         prefix = Prefix.parse(prefix)
-        self._routes = [r for r in self._routes if r.prefix != prefix]
         route = Route(prefix=prefix, link=link, metric=metric)
-        self._routes.append(route)
-        # Keep routes sorted longest-prefix-first so lookup is a linear scan
-        # that stops at the first match.
-        self._routes.sort(key=lambda r: (-r.prefix.length, r.metric))
+        self._by_prefix[prefix] = route
+        self._sorted = None
+        self._cache.clear()
         return route
 
     def set_default(self, link, metric: int = 0) -> Route:
         """Install a default route (0.0.0.0/0) via ``link``."""
         self._default = Route(prefix=Prefix.parse("0.0.0.0/0"), link=link, metric=metric)
+        self._cache.clear()
         return self._default
 
     def remove_route(self, prefix: Union[str, Prefix]) -> bool:
         """Remove the route for exactly ``prefix``.  Returns True if it existed."""
         prefix = Prefix.parse(prefix)
-        before = len(self._routes)
-        self._routes = [r for r in self._routes if r.prefix != prefix]
-        return len(self._routes) != before
+        existed = self._by_prefix.pop(prefix, None) is not None
+        self._sorted = None
+        self._cache.clear()
+        return existed
 
     def clear(self) -> None:
         """Remove every route, including the default."""
-        self._routes.clear()
+        self._by_prefix.clear()
+        self._sorted = None
         self._default = None
+        self._cache.clear()
+
+    @property
+    def _routes(self) -> List[Route]:
+        """Routes sorted longest-prefix-first, materialised on demand, so
+        lookup is a linear scan that stops at the first match."""
+        routes = self._sorted
+        if routes is None:
+            routes = self._sorted = sorted(
+                self._by_prefix.values(),
+                key=lambda r: (-r.prefix.length, r.metric),
+            )
+        return routes
 
     # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------
     def lookup(self, destination: Union[str, IPAddress]) -> Optional[Route]:
         """Longest-prefix-match lookup; falls back to the default route."""
-        destination = IPAddress.parse(destination)
-        for route in self._routes:
-            if route.matches(destination):
-                return route
-        return self._default
+        if destination.__class__ is not IPAddress:
+            destination = IPAddress.parse(destination)
+        route = self._cache.get(destination.value, _MISS)
+        if route is not _MISS:
+            return route
+        route = self._default
+        for candidate in self._routes:
+            if candidate.matches(destination):
+                route = candidate
+                break
+        self._cache[destination.value] = route
+        return route
 
     def next_link(self, destination: Union[str, IPAddress]):
         """The link to forward a packet for ``destination`` over, or None."""
+        if destination.__class__ is IPAddress:
+            route = self._cache.get(destination.value, _MISS)
+            if route is not _MISS:
+                return route.link if route is not None else None
         route = self.lookup(destination)
         return route.link if route is not None else None
 
@@ -96,4 +133,4 @@ class RoutingTable:
         return self._default
 
     def __len__(self) -> int:
-        return len(self._routes) + (1 if self._default else 0)
+        return len(self._by_prefix) + (1 if self._default else 0)

@@ -130,8 +130,12 @@ class ShadowCache:
 
         This is the on-off detection path: a data packet that matches a
         shadowed label means the attack resumed after the temporary filter
-        was removed.
+        was removed.  Runs once per forwarded packet at every AITF gateway,
+        so the empty cache (the overwhelmingly common state) must not even
+        read the clock.
         """
+        if not self._entries:
+            return None
         now = self._clock()
         for entry in self._entries.values():
             if entry.is_expired(now):

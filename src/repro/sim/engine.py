@@ -1,17 +1,20 @@
 """Core discrete-event loop.
 
-The simulator is intentionally minimal: a binary heap of ``(time, seq,
-Event)`` entries and a virtual clock.  Determinism matters more than raw
-speed here because the benchmarks compare protocol variants, so ties are
-broken by insertion order (the ``seq`` counter) rather than by object
-identity.
+The simulator is a binary heap of :class:`Event` objects and a virtual
+clock.  Determinism matters more than raw speed because the benchmarks
+compare protocol variants, so ties are broken by insertion order (the
+``seq`` counter) rather than by object identity — but the fast path is
+still engineered hard: events are ``__slots__`` objects ordered by
+``__lt__`` (no per-entry tuples), :meth:`Simulator.schedule_fast` /
+:meth:`Simulator.call_at_fast` skip keyword plumbing and validation for
+the per-packet hot path, and the heap compacts itself once cancelled
+events outnumber live ones so long runs do not leak memory.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 
@@ -19,26 +22,44 @@ class SimulationError(RuntimeError):
     """Raised when the simulator is used incorrectly (e.g. scheduling in the past)."""
 
 
-@dataclass(order=False)
 class Event:
     """A single scheduled callback.
 
     Events are created through :meth:`Simulator.schedule` / :meth:`Simulator.call_at`
-    and can be cancelled before they fire.  A cancelled event stays in the heap
-    but is skipped by the event loop.
+    (or their ``_fast`` variants) and can be cancelled before they fire.  A
+    cancelled event stays in the heap but is skipped by the event loop; the
+    simulator compacts the heap when cancelled events pile up.
     """
 
-    time: float
-    seq: int
-    callback: Callable[..., None]
-    args: Tuple[Any, ...] = ()
-    kwargs: Dict[str, Any] = field(default_factory=dict)
-    name: str = ""
-    cancelled: bool = False
+    __slots__ = ("time", "seq", "callback", "args", "kwargs", "name",
+                 "cancelled", "_sim")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+        name: str = "",
+        sim: Optional["Simulator"] = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs
+        self.name = name
+        self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Safe to call more than once."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            sim = self._sim
+            if sim is not None:
+                sim._note_cancelled()
 
     @property
     def active(self) -> bool:
@@ -47,12 +68,19 @@ class Event:
 
     def fire(self) -> None:
         """Invoke the callback (used by the event loop)."""
-        self.callback(*self.args, **self.kwargs)
+        if self.kwargs:
+            self.callback(*self.args, **self.kwargs)
+        else:
+            self.callback(*self.args)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         label = self.name or getattr(self.callback, "__name__", "callback")
         state = "cancelled" if self.cancelled else "pending"
         return f"Event(t={self.time:.6f}, {label}, {state})"
+
+
+#: Compaction only kicks in past this heap size; tiny heaps are cheap to scan.
+_COMPACT_MIN_HEAP = 64
 
 
 class Simulator:
@@ -73,11 +101,15 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
+        # Heap entries are (time, seq, event) tuples: tuple comparison runs
+        # in C and, with seq unique, never falls through to comparing events.
         self._heap: List[Tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._events_processed = 0
         self._running = False
         self._stopped = False
+        self._cancelled_in_heap = 0
+        self._compactions = 0
 
     # ------------------------------------------------------------------
     # clock
@@ -96,6 +128,11 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of events still in the heap (including cancelled ones)."""
         return len(self._heap)
+
+    @property
+    def heap_compactions(self) -> int:
+        """Number of times the heap was rebuilt to shed cancelled events."""
+        return self._compactions
 
     # ------------------------------------------------------------------
     # scheduling
@@ -127,24 +164,94 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at t={when:.6f}, clock is already at t={self._now:.6f}"
             )
-        when = max(when, self._now)
-        event = Event(time=when, seq=next(self._seq), callback=callback,
-                      args=args, kwargs=kwargs, name=name)
-        heapq.heappush(self._heap, (event.time, event.seq, event))
+        if when < self._now:
+            when = self._now
+        seq = next(self._seq)
+        event = Event(when, seq, callback, args, kwargs or None, name, self)
+        heapq.heappush(self._heap, (when, seq, event))
         return event
+
+    def schedule_fast(self, delay: float, callback: Callable[..., None],
+                      *args: Any) -> Event:
+        """Hot-path :meth:`schedule`: positional args only, no name, no checks.
+
+        Callers guarantee ``delay >= 0``.  Links and batched traffic
+        generators go through here — per-packet scheduling must not pay for
+        keyword plumbing or past-time validation.
+        """
+        when = self._now + delay
+        seq = next(self._seq)
+        event = Event(when, seq, callback, args, None, "", self)
+        heapq.heappush(self._heap, (when, seq, event))
+        return event
+
+    def call_at_fast(self, when: float, callback: Callable[..., None],
+                     *args: Any) -> Event:
+        """Hot-path :meth:`call_at`: positional args only, no name, no checks.
+
+        Callers guarantee ``when >= now``.
+        """
+        seq = next(self._seq)
+        event = Event(when, seq, callback, args, None, "", self)
+        heapq.heappush(self._heap, (when, seq, event))
+        return event
+
+    def schedule_fire(self, delay: float, callback: Callable[..., None],
+                      *args: Any) -> None:
+        """Fire-and-forget scheduling: no :class:`Event` object at all.
+
+        The heap entry is a bare ``(time, seq, callback, args)`` tuple, so
+        there is nothing to cancel and nothing to allocate beyond the tuple
+        itself.  Links use this for serializer and delivery events — the two
+        highest-volume event kinds in the simulator, and ones no caller ever
+        cancels.  Callers guarantee ``delay >= 0``.
+        """
+        heapq.heappush(self._heap,
+                       (self._now + delay, next(self._seq), callback, args))
+
+    def fire_at(self, when: float, callback: Callable[..., None],
+                *args: Any) -> None:
+        """Absolute-time :meth:`schedule_fire`.  Callers guarantee ``when >= now``."""
+        heapq.heappush(self._heap, (when, next(self._seq), callback, args))
+
+    # ------------------------------------------------------------------
+    # cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel`; compacts the heap when it is
+        majority-dead so cancel-heavy runs stop leaking memory."""
+        self._cancelled_in_heap += 1
+        heap = self._heap
+        if (len(heap) >= _COMPACT_MIN_HEAP
+                and self._cancelled_in_heap * 2 >= len(heap)):
+            # Rebuild in place so the run loop's local reference stays valid.
+            # Fire-and-forget entries carry a bare callable (no .cancelled).
+            heap[:] = [entry for entry in heap
+                       if not getattr(entry[2], "cancelled", False)]
+            heapq.heapify(heap)
+            self._cancelled_in_heap = 0
+            self._compactions += 1
 
     # ------------------------------------------------------------------
     # running
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Fire the next pending event.  Returns False when the heap is empty."""
-        while self._heap:
-            when, _, event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._now = when
-            self._events_processed += 1
-            event.fire()
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            target = entry[2]
+            if target.__class__ is Event:
+                if target.cancelled:
+                    self._cancelled_in_heap -= 1
+                    continue
+                self._now = entry[0]
+                self._events_processed += 1
+                target.fire()
+            else:
+                self._now = entry[0]
+                self._events_processed += 1
+                target(*entry[3])
             return True
         return False
 
@@ -170,18 +277,30 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired = 0
+        heappop = heapq.heappop
+        heap = self._heap  # compaction rebuilds in place, so this stays valid
         try:
-            while self._heap and not self._stopped:
-                when, _, event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
+            while heap and not self._stopped:
+                entry = heap[0]
+                target = entry[2]
+                is_event = target.__class__ is Event
+                if is_event and target.cancelled:
+                    heappop(heap)
+                    self._cancelled_in_heap -= 1
                     continue
+                when = entry[0]
                 if until is not None and when > until:
                     break
-                heapq.heappop(self._heap)
+                heappop(heap)
                 self._now = when
                 self._events_processed += 1
-                event.fire()
+                if is_event:
+                    if target.kwargs:
+                        target.callback(*target.args, **target.kwargs)
+                    else:
+                        target.callback(*target.args)
+                else:
+                    target(*entry[3])
                 fired += 1
                 if max_events is not None and fired >= max_events:
                     break
@@ -199,9 +318,11 @@ class Simulator:
     def drain(self) -> int:
         """Cancel every pending event.  Returns the number of events cancelled."""
         cancelled = 0
-        for _, _, event in self._heap:
-            if not event.cancelled:
-                event.cancel()
+        for entry in self._heap:
+            target = entry[2]
+            if target.__class__ is Event and not target.cancelled:
+                target.cancelled = True
                 cancelled += 1
         self._heap.clear()
+        self._cancelled_in_heap = 0
         return cancelled

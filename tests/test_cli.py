@@ -94,3 +94,29 @@ class TestResourcesCommand:
         out = capsys.readouterr().out
         assert code == 0
         assert "Victim-gateway resources" in out
+
+
+class TestBenchCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.scenario == "all"
+        assert args.repeats == 3
+        assert args.output == ""
+
+    def test_single_scenario_table_output(self, capsys):
+        code = main(["bench", "--scenario", "flood", "--repeats", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Engine benchmarks" in out
+        assert "flood" in out
+        assert "calibration" in out
+
+    def test_json_output_and_file_writing(self, capsys, tmp_path):
+        target = tmp_path / "BENCH_engine.json"
+        code = main(["--json", "bench", "--scenario", "flood_heavy",
+                     "--repeats", "1", "--output", str(target)])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["schema"] == "bench_engine/v1"
+        assert "flood_heavy" in payload["benches"]
+        assert json.loads(target.read_text()) == payload

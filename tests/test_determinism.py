@@ -1,0 +1,112 @@
+"""Determinism regression: the fast-path overhaul must not move a number.
+
+The golden values below were recorded from the *seed* implementation
+(pre-overhaul: one event per generated packet, dataclass events, linear
+filter-table scans, eager link serializer) running the same scenarios.
+Batched generation, the slotted engine, the indexed filter table and the
+lazy link serializer all re-order internal bookkeeping — but event
+*ordering* (time, then scheduling sequence) is observable through queue
+dynamics, so every metric the scenarios report has to come out bit-for-bit
+identical.  If a future change legitimately alters these numbers, it must
+say so loudly; silently shifting them means event ordering changed.
+
+Two different runs of the same scenario in one process must also agree
+exactly (no hidden global state beyond the packet/filter id counters,
+which the metrics never expose).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.scenarios.flood_defense import FloodDefenseScenario
+from repro.scenarios.onoff import OnOffScenario
+
+#: FloodDefenseResult of the seed implementation, default parameters, 10 s.
+GOLDEN_FLOOD_DEFAULT = {
+    "duration": 10.0,
+    "attack_offered_bps": 12000000.0,
+    "attack_received_bps": 130526.31578947368,
+    "effective_bandwidth_ratio": 0.01087719298245614,
+    "legit_offered_bps": 3200000.0,
+    "legit_goodput_bps": 3200000.0,
+    "time_to_first_block": 0.16389920000000013,
+    "time_to_attacker_gateway_filter": 0.34600927999999964,
+    "escalation_rounds": 0,
+    "disconnections": 0,
+    "victim_gateway_peak_filters": 1.0,
+    "attacker_gateway_peak_filters": 1.0,
+    "requests_sent_by_victim": 1,
+}
+
+#: Same scenario with a non-cooperating gateway: escalation + disconnection.
+GOLDEN_FLOOD_ESCALATION = {
+    "duration": 10.0,
+    "attack_offered_bps": 12000000.0,
+    "attack_received_bps": 131368.42105263157,
+    "effective_bandwidth_ratio": 0.010947368421052631,
+    "legit_offered_bps": 3200000.0,
+    "legit_goodput_bps": 3200000.0,
+    "time_to_first_block": 0.16389920000000013,
+    "time_to_attacker_gateway_filter": 1.3160077439999998,
+    "escalation_rounds": 2,
+    "disconnections": 2,
+    "victim_gateway_peak_filters": 1.0,
+    "attacker_gateway_peak_filters": 0.0,
+    "requests_sent_by_victim": 1,
+}
+
+#: OnOffResult of the seed implementation, default parameters, 20 s.
+GOLDEN_ONOFF_DEFAULT = {
+    "duration": 20.0,
+    "offered_bps": 2000000.0,
+    "received_bps": 21818.181818181816,
+    "effective_bandwidth_ratio": 0.010909090909090908,
+    "shadow_hits": 1,
+    "escalation_rounds": 2,
+    "attack_cycles": 20,
+    "packets_sent": 5011,
+    "packets_received": 54,
+}
+
+
+def _assert_exact(result, golden: dict) -> None:
+    actual = dataclasses.asdict(result)
+    for key, expected in golden.items():
+        assert actual[key] == expected, (
+            f"{key}: expected {expected!r} (seed), got {actual[key]!r} — "
+            "event ordering or accounting changed"
+        )
+
+
+class TestSeedGoldenMetrics:
+    def test_flood_default_matches_seed_exactly(self):
+        result = FloodDefenseScenario().run(duration=10.0)
+        _assert_exact(result, GOLDEN_FLOOD_DEFAULT)
+
+    def test_flood_escalation_matches_seed_exactly(self):
+        scenario = FloodDefenseScenario(
+            non_cooperating=("B_host", "B_gw1"),
+            disconnection_enabled=True,
+        )
+        _assert_exact(scenario.run(duration=10.0), GOLDEN_FLOOD_ESCALATION)
+
+    def test_onoff_matches_seed_exactly(self):
+        _assert_exact(OnOffScenario().run(duration=20.0), GOLDEN_ONOFF_DEFAULT)
+
+
+class TestRunToRunDeterminism:
+    @pytest.mark.parametrize("kwargs", [
+        {},
+        {"attack_rate_pps": 3000.0, "detection_delay": 0.05},
+        {"aitf_enabled": False},
+    ])
+    def test_flood_repeats_identically(self, kwargs):
+        first = dataclasses.asdict(FloodDefenseScenario(**kwargs).run(duration=5.0))
+        second = dataclasses.asdict(FloodDefenseScenario(**kwargs).run(duration=5.0))
+        assert first == second
+
+    def test_onoff_repeats_identically(self):
+        first = dataclasses.asdict(OnOffScenario().run(duration=10.0))
+        second = dataclasses.asdict(OnOffScenario().run(duration=10.0))
+        assert first == second

@@ -75,6 +75,31 @@ class TestDropTailQueue:
         assert queue.is_empty
         assert queue.bytes_queued == 0
 
+    def test_clear_accounts_flushed_packets_and_bytes(self):
+        # Regression: clear() used to discard silently, so goodput
+        # experiments under-reported losses after a queue flush.
+        queue = DropTailQueue(capacity_bytes=10_000)
+        queue.enqueue(make_packet(300))
+        queue.enqueue(make_packet(200))
+        queue.clear()
+        assert queue.stats.flushed == 2
+        assert queue.stats.bytes_flushed == 500
+        # Flushes are not tail drops: offered-load accounting is unchanged.
+        assert queue.stats.dropped == 0
+        assert queue.stats.packets_lost == 2
+        assert queue.stats.bytes_lost == 500
+        # A second flush accumulates.
+        queue.enqueue(make_packet(100))
+        queue.clear()
+        assert queue.stats.flushed == 3
+        assert queue.stats.bytes_flushed == 600
+
+    def test_clear_of_empty_queue_flushes_nothing(self):
+        queue = DropTailQueue(capacity_bytes=10_000)
+        assert queue.clear() == 0
+        assert queue.stats.flushed == 0
+        assert queue.stats.bytes_flushed == 0
+
     def test_invalid_capacity_rejected(self):
         with pytest.raises(ValueError):
             DropTailQueue(capacity_bytes=0)
