@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Experiment API tour: one spec, five defenses, then a parallel sweep.
+
+The paper's comparative story (experiment E9) in ~40 lines: the same flood
+runs under every registered defense backend from a single declarative spec,
+then a parameter sweep crosses two backends with two attack rates:
+
+    python examples/defense_comparison.py
+"""
+
+from repro.experiments import DEFENSES, ExperimentRunner, SweepRunner, default_flood_spec
+
+
+def main() -> None:
+    spec = default_flood_spec(duration=4.0, seed=1)
+    print("One flood spec, every registered defense backend\n")
+    print(f"{'defense':<12} {'ratio':>8} {'goodput':>12} {'first block':>12} "
+          f"{'nodes':>6} {'msgs':>5}")
+    for backend in DEFENSES.names():
+        result = ExperimentRunner().run(
+            spec.with_overrides({"defense.backend": backend}))
+        block = (f"{result.time_to_first_block * 1e3:.0f} ms"
+                 if result.time_to_first_block is not None else "never")
+        print(f"{backend:<12} {result.effective_bandwidth_ratio:>8.3f} "
+              f"{result.legit_goodput_bps / 1e6:>9.2f} Mbps {block:>12} "
+              f"{result.nodes_involved:>6} {result.control_messages:>5}")
+
+    print("\nAITF blocks the specific flow within a round with four nodes "
+          "involved; Pushback\nrecruits routers hop by hop and squeezes "
+          "legitimate traffic inside the aggregate;\ningress/DPF and a "
+          "human operator never catch a non-spoofed flood in time.\n")
+
+    # The same spec drives a parameter sweep, run on worker processes with
+    # deterministic per-cell seeds (same JSON whatever the worker count).
+    grid = {
+        "defense.backend": ["aitf", "pushback"],
+        "workloads.1.params.rate_pps": [1500.0, 3000.0],
+    }
+    sweep = SweepRunner(workers=2).run_grid(default_flood_spec(duration=3.0), grid)
+    print(f"Sweep: {len(sweep.cells)} cells "
+          f"({' x '.join(f'{k}={v}' for k, v in grid.items())})")
+    for cell in sweep.cells:
+        result = cell["result"]
+        print(f"  {cell['overrides']!r:<75} ratio={result['effective_bandwidth_ratio']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,9 +20,20 @@ The package is organised bottom-up:
 * :mod:`repro.topology` — Figure-1, provider-tree, dumbbell and power-law
   topology builders.
 * :mod:`repro.analysis` — Section IV formulas, meters, and report tables.
-* :mod:`repro.scenarios` — pre-wired end-to-end scenarios.
+* :mod:`repro.experiments` — the unified experiment API: declarative specs,
+  pluggable defense backends (aitf / pushback / ingress-dpf / manual /
+  none), and the parallel sweep runner.
+* :mod:`repro.scenarios` — the classic end-to-end scenarios, now thin shims
+  over :mod:`repro.experiments`.
 
 Quickstart::
+
+    from repro import ExperimentRunner, default_flood_spec
+
+    result = ExperimentRunner().run(default_flood_spec(defense="aitf"))
+    print(result.effective_bandwidth_ratio, result.legit_goodput_bps)
+
+or, through the legacy scenario surface::
 
     from repro import FloodDefenseScenario
 
@@ -43,6 +54,17 @@ from repro.core import (
     ProtocolEventLog,
     RequestRole,
     deploy_aitf,
+)
+from repro.experiments import (
+    DefenseSpec,
+    ExperimentResult,
+    ExperimentRunner,
+    ExperimentSpec,
+    SweepRunner,
+    TopologySpec,
+    WorkloadSpec,
+    default_flood_spec,
+    expand_grid,
 )
 from repro.net import FlowLabel, IPAddress, Packet, Prefix
 from repro.scenarios import (
@@ -89,4 +111,13 @@ __all__ = [
     "OnOffScenario",
     "VictimGatewayResourceScenario",
     "AttackerGatewayResourceScenario",
+    "ExperimentSpec",
+    "TopologySpec",
+    "DefenseSpec",
+    "WorkloadSpec",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "SweepRunner",
+    "default_flood_spec",
+    "expand_grid",
 ]

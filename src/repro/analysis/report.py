@@ -9,8 +9,42 @@ verbatim.
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+
+def result_to_dict(result: Any) -> Any:
+    """Any result object -> JSON-serializable data.
+
+    The one serializer every output path uses (CLI tables' ``--json`` mode,
+    ``repro sweep`` documents, the experiment runner): dataclasses become
+    dicts recursively, tuples become lists, enums collapse to their values,
+    ``Optional`` fields pass ``None`` through untouched, and anything else
+    non-JSON-native falls back to ``str``.
+    """
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        return {f.name: result_to_dict(getattr(result, f.name))
+                for f in dataclasses.fields(result)}
+    if isinstance(result, enum.Enum):
+        return result_to_dict(result.value)
+    if isinstance(result, dict):
+        return {str(key): result_to_dict(value) for key, value in result.items()}
+    if isinstance(result, (list, tuple)):
+        return [result_to_dict(item) for item in result]
+    if result is None or isinstance(result, (bool, int, float, str)):
+        return result
+    return str(result)
+
+
+def emit_result(result: Any, table: Optional["ResultTable"], as_json: bool) -> None:
+    """Print one result: its table, or its serialized form under ``--json``."""
+    if as_json:
+        print(json.dumps(result_to_dict(result), indent=2))
+    elif table is not None:
+        table.print()
 
 
 def format_bps(value_bps: float) -> str:

@@ -33,7 +33,7 @@ from repro.net.flowlabel import FlowLabel
 from repro.net.packet import Packet, Protocol
 from repro.router.nodes import Host
 from repro.sim.process import BatchedProcess, PeriodicProcess
-from repro.sim.randomness import SeededRandom
+from repro.sim.randomness import SeededRandom, stable_seed
 
 
 class FloodAttack:
@@ -175,7 +175,7 @@ class SpoofedFloodAttack(FloodAttack):
         **kwargs,
     ) -> None:
         super().__init__(attacker, victim, **kwargs)
-        self._rng = rng or SeededRandom(hash(attacker.name) & 0x7FFFFFFF,
+        self._rng = rng or SeededRandom(stable_seed("spoof", attacker.name),
                                         name=f"spoof-{attacker.name}")
         self._spoof_pool = [IPAddress.parse(a) for a in spoof_pool] if spoof_pool else []
 

@@ -20,7 +20,7 @@ from repro.net.address import IPAddress
 from repro.net.packet import Packet, Protocol
 from repro.router.nodes import Host
 from repro.sim.process import BatchedProcess
-from repro.sim.randomness import SeededRandom
+from repro.sim.randomness import SeededRandom, stable_seed
 
 
 class LegitimateTraffic:
@@ -142,7 +142,7 @@ class PoissonTraffic(LegitimateTraffic):
     def __init__(self, sender: Host, destination: Union[str, IPAddress],
                  *, rng: Optional[SeededRandom] = None, **kwargs) -> None:
         super().__init__(sender, destination, **kwargs)
-        self._rng = rng or SeededRandom(hash(sender.name) & 0x7FFFFFFF,
+        self._rng = rng or SeededRandom(stable_seed("poisson", sender.name),
                                         name=f"poisson-{sender.name}")
         # Replace the fixed-interval process with a self-rescheduling one.
         self._process.stop()

@@ -40,7 +40,7 @@ from repro.net.packet import Packet, PacketKind
 from repro.router.nodes import BorderRouter, NetworkNode
 from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicProcess
-from repro.sim.randomness import SeededRandom
+from repro.sim.randomness import SeededRandom, stable_seed
 
 
 @dataclass
@@ -117,7 +117,7 @@ class PushbackAgent:
         self.limiters: Dict[FlowLabel, AggregateLimiter] = {}
         self.requests_sent = 0
         self.requests_received = 0
-        self._rng = SeededRandom(hash(router.name) & 0x7FFFFFFF,
+        self._rng = SeededRandom(stable_seed("pushback", router.name),
                                  name=f"pushback-{router.name}")
         self._reviewer = PeriodicProcess(router.sim, review_interval, self._review,
                                          name=f"pushback-review-{router.name}")

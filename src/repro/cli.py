@@ -1,28 +1,51 @@
-"""Command-line interface for running the pre-wired scenarios.
+"""Command-line interface: declarative experiments plus the classic scenarios.
 
 A downstream user who just wants to see AITF work (or to sweep a parameter
-from a shell script) should not have to write Python.  The CLI exposes the
-three scenario families behind the benchmarks::
+from a shell script) should not have to write Python.  The CLI is built on
+the unified experiment API (:mod:`repro.experiments`)::
 
-    python -m repro flood    --duration 10 --attack-pps 1500
+    python -m repro run      --defense pushback --duration 6
+    python -m repro run      --spec experiment.json
+    python -m repro compare  --defenses aitf,pushback,manual,none
+    python -m repro sweep    --param defense.backend=aitf,pushback \
+                             --param workloads.1.params.rate_pps=1500,3000 \
+                             --workers 4 --output sweep.json
+
+and keeps the original scenario families as thin shims over the same API::
+
+    python -m repro flood    --duration 10 --attack-pps 1500 --seed 7
     python -m repro onoff    --duration 20 --no-shadow
     python -m repro resources --role victim --rate 100
     python -m repro bench    --output BENCH_engine.json
 
 Each subcommand prints a small result table and exits 0; `--json` switches
-the output to machine-readable JSON for scripting.
+the output to machine-readable JSON for scripting.  Every subcommand takes
+``--seed`` so any run is reproducible from its command line.
 """
 
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import json
 import sys
 from typing import Any, Dict, List, Optional
 
-from repro.analysis.report import ResultTable, format_bps, format_ratio, format_seconds
+from repro.analysis.report import (
+    ResultTable,
+    emit_result,
+    format_bps,
+    format_ratio,
+    format_seconds,
+    result_to_dict,
+)
 from repro.core.config import AITFConfig
+from repro.experiments import (
+    DEFENSES,
+    ExperimentRunner,
+    ExperimentSpec,
+    SweepRunner,
+    default_flood_spec,
+)
 from repro.scenarios.flood_defense import FloodDefenseScenario
 from repro.scenarios.onoff import OnOffScenario
 from repro.scenarios.resources import (
@@ -31,20 +54,162 @@ from repro.scenarios.resources import (
 )
 
 
-def _as_dict(result: Any) -> Dict[str, Any]:
-    """Dataclass result -> JSON-serializable dict."""
-    return {key: value for key, value in dataclasses.asdict(result).items()}
+def _parse_value(text: str) -> Any:
+    """One override value: JSON where it parses, bare string otherwise."""
+    try:
+        return json.loads(text)
+    except (json.JSONDecodeError, ValueError):
+        return text
 
 
-def _emit(result: Any, table: ResultTable, as_json: bool) -> None:
-    if as_json:
-        print(json.dumps(_as_dict(result), indent=2, default=str))
+def _parse_assignment(text: str) -> tuple:
+    """``path=value`` -> (path, parsed value)."""
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"expected PATH=VALUE, got {text!r}")
+    path, _, raw = text.partition("=")
+    return path.strip(), raw
+
+
+def _base_spec(args: argparse.Namespace) -> ExperimentSpec:
+    """The spec behind ``run``/``compare``/``sweep``: a file, or the canonical
+    flood experiment built from the convenience flags."""
+    if getattr(args, "spec", None):
+        spec = ExperimentSpec.load(args.spec)
     else:
-        table.print()
+        spec = default_flood_spec(
+            topology=getattr(args, "topology", "") or "figure1",
+            attack_pps=args.attack_pps,
+            legit_pps=args.legit_pps,
+            detection_delay=args.detection_delay,
+        )
+    overrides: Dict[str, Any] = {}
+    if getattr(args, "spec", None) and getattr(args, "topology", None):
+        overrides["topology.kind"] = args.topology
+    if getattr(args, "defense", None):
+        overrides["defense.backend"] = args.defense
+    if args.duration is not None:
+        overrides["duration"] = args.duration
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    for path, raw in getattr(args, "set", None) or []:
+        overrides[path] = _parse_value(raw)
+    return spec.with_overrides(overrides) if overrides else spec
+
+
+def _experiment_table(result) -> ResultTable:
+    table = ResultTable(f"Experiment: {result.name} [{result.defense}]",
+                        ["metric", "value"])
+    table.add_row("topology", result.topology)
+    table.add_row("defense backend", result.defense)
+    table.add_row("seed", result.seed)
+    table.add_row("attack offered", format_bps(result.attack_offered_bps))
+    table.add_row("attack reaching victim", format_bps(result.attack_received_bps))
+    table.add_row("effective-bandwidth ratio",
+                  format_ratio(result.effective_bandwidth_ratio))
+    table.add_row("legitimate goodput", format_bps(result.legit_goodput_bps))
+    table.add_row("time to first block",
+                  format_seconds(result.time_to_first_block)
+                  if result.time_to_first_block is not None else "never")
+    table.add_row("defense nodes involved", result.nodes_involved)
+    table.add_row("control messages", result.control_messages)
+    for key, value in sorted(result.defense_stats.items()):
+        if key in ("backend", "time_to_first_block", "nodes_involved",
+                   "control_messages"):
+            continue
+        table.add_row(f"[{result.defense}] {key}", value)
+    return table
 
 
 # ----------------------------------------------------------------------
-# subcommands
+# experiment subcommands
+# ----------------------------------------------------------------------
+def run_experiment(args: argparse.Namespace) -> int:
+    """``repro run``: execute one spec under any registered defense backend."""
+    spec = _base_spec(args)
+    result = ExperimentRunner().run(spec)
+    emit_result(result, _experiment_table(result), args.json)
+    return 0
+
+
+def run_compare(args: argparse.Namespace) -> int:
+    """``repro compare``: one spec, many backends, paired seeds (E9-style)."""
+    defenses = [d.strip() for d in args.defenses.split(",") if d.strip()]
+    if not defenses:
+        raise SystemExit("--defenses needs at least one backend name")
+    for name in defenses:
+        DEFENSES.get(name)  # fail fast with the list of valid names
+    spec = _base_spec(args)
+    results = [ExperimentRunner().run(spec.with_overrides({"defense.backend": name}))
+               for name in defenses]
+    if args.json:
+        print(json.dumps([result_to_dict(r) for r in results], indent=2))
+        return 0
+    table = ResultTable(
+        "Defense comparison",
+        ["defense", "attack@victim", "ratio", "legit goodput",
+         "first block", "nodes", "ctrl msgs"],
+    )
+    for result in results:
+        table.add_row(
+            result.defense,
+            format_bps(result.attack_received_bps),
+            format_ratio(result.effective_bandwidth_ratio),
+            format_bps(result.legit_goodput_bps),
+            format_seconds(result.time_to_first_block)
+            if result.time_to_first_block is not None else "never",
+            result.nodes_involved,
+            result.control_messages,
+        )
+    table.add_note("same spec and seed for every backend (paired comparison)")
+    table.print()
+    return 0
+
+
+def run_sweep(args: argparse.Namespace) -> int:
+    """``repro sweep``: expand a parameter grid and run cells in parallel."""
+    if not args.param:
+        raise SystemExit(
+            "repro sweep needs at least one --param PATH=V1,V2,... "
+            "(e.g. --param defense.backend=aitf,pushback)")
+    grid: Dict[str, List[Any]] = {}
+    for path, raw in args.param:
+        values = [_parse_value(v) for v in raw.split(",") if v != ""]
+        if not values:
+            raise SystemExit(f"--param {path} has no values")
+        grid[path] = values
+    base = _base_spec(args)
+    sweep = SweepRunner(workers=args.workers).run_grid(
+        base, grid, reseed=not args.no_reseed)
+    doc = sweep.to_dict()
+    if args.output:
+        sweep.write(args.output)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    axes = list(grid)
+    table = ResultTable(
+        f"Sweep: {len(sweep.cells)} cells x {args.workers} workers",
+        [*axes, "seed", "ratio", "legit goodput", "first block"],
+    )
+    for cell in sweep.cells:
+        result = cell["result"]
+        ttb = result["time_to_first_block"]
+        table.add_row(
+            *[cell["overrides"].get(axis, "-") for axis in axes],
+            cell["seed"],
+            format_ratio(result["effective_bandwidth_ratio"]),
+            format_bps(result["legit_goodput_bps"]),
+            format_seconds(ttb) if ttb is not None else "never",
+        )
+    if args.output:
+        table.add_note(f"full results written to {args.output}")
+    table.print()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# classic scenario subcommands (shims over the experiment API)
 # ----------------------------------------------------------------------
 def run_flood(args: argparse.Namespace) -> int:
     """The Figure-1 flood-defense scenario."""
@@ -59,6 +224,7 @@ def run_flood(args: argparse.Namespace) -> int:
         legit_rate_pps=args.legit_pps,
         detection_delay=args.detection_delay,
         non_cooperating=tuple(dict.fromkeys(non_cooperating)),
+        seed=args.seed if args.seed is not None else 0,
     )
     result = scenario.run(duration=args.duration)
     table = ResultTable("Flood defense", ["metric", "value"])
@@ -72,13 +238,14 @@ def run_flood(args: argparse.Namespace) -> int:
                   if result.time_to_first_block is not None else "never")
     table.add_row("escalation rounds", result.escalation_rounds)
     table.add_row("disconnections", result.disconnections)
-    _emit(result, table, args.json)
+    emit_result(result, table, args.json)
     return 0
 
 
 def run_onoff(args: argparse.Namespace) -> int:
     """The on-off attack scenario."""
-    scenario = OnOffScenario(shadow_enabled=not args.no_shadow)
+    scenario = OnOffScenario(shadow_enabled=not args.no_shadow,
+                             seed=args.seed if args.seed is not None else 0)
     result = scenario.run(duration=args.duration)
     table = ResultTable("On-off attack", ["metric", "value"])
     table.add_row("shadow cache enabled", not args.no_shadow)
@@ -88,14 +255,15 @@ def run_onoff(args: argparse.Namespace) -> int:
     table.add_row("leak ratio", format_ratio(result.effective_bandwidth_ratio))
     table.add_row("shadow hits", result.shadow_hits)
     table.add_row("escalation rounds", result.escalation_rounds)
-    _emit(result, table, args.json)
+    emit_result(result, table, args.json)
     return 0
 
 
 def run_resources(args: argparse.Namespace) -> int:
     """Resource provisioning measurements (victim side or attacker side)."""
+    seed = args.seed if args.seed is not None else 0
     if args.role == "victim":
-        scenario = VictimGatewayResourceScenario(request_rate=args.rate)
+        scenario = VictimGatewayResourceScenario(request_rate=args.rate, seed=seed)
         result = scenario.run(duration=args.duration)
         table = ResultTable("Victim-gateway resources", ["metric", "value"])
         table.add_row("request rate R1", f"{args.rate:.0f}/s")
@@ -107,7 +275,8 @@ def run_resources(args: argparse.Namespace) -> int:
         table.add_row("paper mv = R1*T", result.predicted_shadow_entries)
     else:
         scenario = AttackerGatewayResourceScenario(request_rate=args.rate,
-                                                   filter_timeout=args.filter_timeout)
+                                                   filter_timeout=args.filter_timeout,
+                                                   seed=seed)
         result = scenario.run(duration=args.duration)
         table = ResultTable("Attacker-side resources", ["metric", "value"])
         table.add_row("request rate R2", f"{args.rate:.0f}/s")
@@ -116,7 +285,7 @@ def run_resources(args: argparse.Namespace) -> int:
         table.add_row("attacker-host peak filters",
                       int(result.attacker_host_peak_filter_occupancy))
         table.add_row("paper na = R2*T", result.predicted_filters)
-    _emit(result, table, args.json)
+    emit_result(result, table, args.json)
     return 0
 
 
@@ -126,7 +295,8 @@ def run_bench(args: argparse.Namespace) -> int:
 
     names = BENCH_NAMES if args.scenario == "all" else (args.scenario,)
     calibration = calibrate()
-    results = run_benches(names, repeats=args.repeats)
+    overrides = {} if args.seed is None else {"seed": args.seed}
+    results = run_benches(names, repeats=args.repeats, **overrides)
     if args.output:
         doc = write_bench_json(args.output, results, calibration=calibration)
     else:
@@ -161,15 +331,70 @@ def run_bench(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # argument parsing
 # ----------------------------------------------------------------------
+def _add_spec_flags(parser: argparse.ArgumentParser, *,
+                    duration_default: Optional[float] = None) -> None:
+    """Flags shared by the spec-driven subcommands (run/compare/sweep)."""
+    parser.add_argument("--spec", default="",
+                        help="JSON experiment spec file (see repro.experiments)")
+    parser.add_argument("--topology", default="",
+                        help="topology registry name (figure1, dumbbell, tree, powerlaw)")
+    parser.add_argument("--duration", type=float, default=duration_default,
+                        help="simulated horizon in seconds")
+    parser.add_argument("--attack-pps", type=float, default=1500.0,
+                        help="flood rate for the default spec (ignored with --spec)")
+    parser.add_argument("--legit-pps", type=float, default=400.0,
+                        help="legitimate rate for the default spec (ignored with --spec)")
+    parser.add_argument("--detection-delay", type=float, default=0.1,
+                        help="Td for the default spec (ignored with --spec)")
+    parser.add_argument("--set", action="append", type=_parse_assignment,
+                        metavar="PATH=VALUE", default=[],
+                        help="override any spec field by dotted path "
+                             "(e.g. --set defense.params.limit_bps=2e6)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Run AITF reproduction scenarios from the command line.",
+        description="Run AITF reproduction experiments from the command line.",
     )
     parser.add_argument("--json", action="store_true",
                         help="print the raw result as JSON instead of a table")
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser(
+        "run", help="run one declarative experiment (any defense backend)")
+    _add_spec_flags(run)
+    run.add_argument("--defense", default="",
+                     choices=["", *DEFENSES.names()],
+                     help="defense backend registry name")
+    run.add_argument("--seed", type=int, default=None)
+    run.set_defaults(func=run_experiment)
+
+    compare = subparsers.add_parser(
+        "compare", help="run the same experiment under several defenses")
+    _add_spec_flags(compare, duration_default=None)
+    compare.add_argument("--defenses", default="aitf,pushback,ingress-dpf,manual,none",
+                         help="comma-separated backend names")
+    compare.add_argument("--seed", type=int, default=None)
+    compare.set_defaults(func=run_compare)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="expand a parameter grid and run the cells in parallel")
+    _add_spec_flags(sweep, duration_default=4.0)
+    sweep.add_argument("--param", action="append", type=_parse_assignment,
+                       metavar="PATH=V1,V2,...", default=[],
+                       help="one sweep axis: dotted spec path and its values")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="parallel worker processes (1 = serial)")
+    sweep.add_argument("--output", default="",
+                       help="write the full sweep JSON document here")
+    sweep.add_argument("--no-reseed", action="store_true",
+                       help="keep the base seed in every cell instead of "
+                            "deriving per-cell seeds")
+    sweep.add_argument("--seed", type=int, default=None,
+                       help="base seed the per-cell seeds derive from")
+    sweep.set_defaults(func=run_sweep)
 
     flood = subparsers.add_parser("flood", help="one flood against the Figure-1 victim")
     flood.add_argument("--duration", type=float, default=10.0)
@@ -183,12 +408,14 @@ def build_parser() -> argparse.ArgumentParser:
     flood.add_argument("--non-cooperating", default="",
                        help="comma-separated gateway names that ignore AITF "
                             "(e.g. B_gw1,B_gw2)")
+    flood.add_argument("--seed", type=int, default=None)
     flood.set_defaults(func=run_flood)
 
     onoff = subparsers.add_parser("onoff", help="pulsed attack behind a bad gateway")
     onoff.add_argument("--duration", type=float, default=20.0)
     onoff.add_argument("--no-shadow", action="store_true",
                        help="ablate the DRAM shadow cache")
+    onoff.add_argument("--seed", type=int, default=None)
     onoff.set_defaults(func=run_onoff)
 
     resources = subparsers.add_parser("resources", help="router resource measurements")
@@ -197,6 +424,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="contract request rate (R1 or R2)")
     resources.add_argument("--duration", type=float, default=5.0)
     resources.add_argument("--filter-timeout", type=float, default=20.0)
+    resources.add_argument("--seed", type=int, default=None)
     resources.set_defaults(func=run_resources)
 
     bench = subparsers.add_parser(
@@ -209,6 +437,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--output", default="",
                        help="write results to this JSON file "
                             "(e.g. BENCH_engine.json)")
+    bench.add_argument("--seed", type=int, default=None,
+                       help="seed for the benchmark workloads "
+                            "(default: the recorded-baseline seeds)")
     bench.set_defaults(func=run_bench)
     return parser
 

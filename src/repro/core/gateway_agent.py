@@ -51,7 +51,7 @@ from repro.router.filter_table import FilterEntry, FilterTableFullError
 from repro.router.nodes import BorderRouter, Host, NetworkNode
 from repro.router.shadow_cache import ShadowCache, ShadowEntry
 from repro.sim.process import Timer
-from repro.sim.randomness import SeededRandom
+from repro.sim.randomness import SeededRandom, stable_seed
 
 
 @dataclass
@@ -98,7 +98,8 @@ class GatewayAgent:
         self.config = config
         self.log = event_log
         self.directory = directory
-        self.rng = rng or SeededRandom(hash(router.name) & 0x7FFFFFFF, name=router.name)
+        self.rng = rng or SeededRandom(stable_seed("gateway", router.name),
+                                       name=router.name)
         #: A non-cooperative gateway ignores requests that designate it as
         #: the attacker's gateway (the paper's escalation trigger).
         self.cooperative = cooperative

@@ -1,0 +1,282 @@
+"""Pluggable defense backends.
+
+Every mechanism the paper compares — AITF itself, Pushback, universal
+ingress/DPF filtering, a human operator installing filters by hand, and no
+defense at all — sits behind the same three-phase interface, so one harness
+runs all of them and reports the same metric names (experiment E9's
+comparison table falls out of a parameter sweep instead of bespoke code):
+
+* :meth:`DefenseBackend.deploy` — called after the topology is built and
+  before workloads exist; installs agents / flips router modes.
+* :meth:`DefenseBackend.arm` — called after workloads are built; points the
+  defense at the attack (mark detectors, schedule operator responses, start
+  aggregate limiters at the congested router).
+* :meth:`DefenseBackend.collect` — called after the simulation ran; returns
+  a stats dict that always contains ``backend``, ``time_to_first_block``
+  (seconds after attack start, or None), ``nodes_involved`` (how many nodes
+  actively participated in the defense) and ``control_messages`` (how many
+  defense-plane messages were exchanged), plus backend-specific extras.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.baselines.ingress_dpf import (
+    collect_ingress_stats,
+    enable_universal_ingress_filtering,
+)
+from repro.baselines.manual import ManualFilteringOperator
+from repro.baselines.pushback import PushbackDeployment, deploy_pushback
+from repro.core.deployment import AITFDeployment, deploy_aitf
+from repro.core.detection import ExplicitDetector
+from repro.core.events import EventType
+from repro.experiments.registry import DEFENSES
+from repro.net.flowlabel import FlowLabel
+from repro.sim.randomness import SeededRandom
+
+
+class DefenseBackend:
+    """Base class: a no-op defense (also registered as ``none``)."""
+
+    name = "none"
+
+    def __init__(self, params: Optional[Mapping[str, Any]] = None) -> None:
+        self.params = dict(params or {})
+
+    def deploy(self, ctx: Any) -> None:
+        """Install the mechanism on the freshly built topology."""
+
+    def arm(self, ctx: Any) -> None:
+        """Point the mechanism at the attack workloads (now built)."""
+
+    def collect(self, ctx: Any) -> Dict[str, Any]:
+        """Uniform stats; see the module docstring for the common keys."""
+        return {"backend": self.name, "time_to_first_block": None,
+                "nodes_involved": 0, "control_messages": 0}
+
+
+DEFENSES.register("none", DefenseBackend)
+
+
+@DEFENSES.register("aitf")
+class AITFBackend(DefenseBackend):
+    """The paper's mechanism: AITF agents on every host and border router.
+
+    Params: ``non_cooperating`` (node names that ignore AITF),
+    ``disconnection_enabled``, ``shadow_enabled`` (ablate the victim
+    gateway's DRAM shadow cache), ``cooperative`` (initial flag for all).
+    """
+
+    name = "aitf"
+
+    def __init__(self, params: Optional[Mapping[str, Any]] = None) -> None:
+        super().__init__(params)
+        self.deployment: Optional[AITFDeployment] = None
+        self.detector: Optional[ExplicitDetector] = None
+
+    def deploy(self, ctx: Any) -> None:
+        self.deployment = deploy_aitf(
+            ctx.handle.all_nodes(), ctx.config,
+            rng=SeededRandom(ctx.spec.seed, name="deployment"),
+            cooperative=bool(self.params.get("cooperative", True)),
+        )
+        self.deployment.set_disconnection_enabled(
+            bool(self.params.get("disconnection_enabled", False)))
+        for node_name in self.params.get("non_cooperating", ()):
+            self.deployment.set_cooperative(node_name, False)
+        if not self.params.get("shadow_enabled", True):
+            # Ablation: a victim's gateway that forgets requests as soon as
+            # its temporary filter expires cannot tell a reappearing flow
+            # from a new one.
+            gateway_agent = self.deployment.gateway_agent(ctx.handle.victim_gateway.name)
+            gateway_agent.shadow_cache.capacity = 1
+            gateway_agent.shadow_cache.clear()
+            gateway_agent.config = ctx.config.with_overrides(shadow_timeout=1e-3)
+        victim_agent = self.deployment.host_agent(ctx.handle.victim.name)
+        self.detector = ExplicitDetector(victim_agent,
+                                         detection_delay=ctx.spec.detection_delay)
+
+    def arm(self, ctx: Any) -> None:
+        assert self.deployment is not None and self.detector is not None
+        for workload in ctx.attack_workloads():
+            for host in workload.attacker_hosts:
+                self.detector.mark_undesired(host.address)
+            workload.register_stop_callbacks(self.deployment.host_agents)
+
+    def collect(self, ctx: Any) -> Dict[str, Any]:
+        assert self.deployment is not None
+        log = self.deployment.event_log
+        attack_start = ctx.attack_window_start
+        victim_gw = ctx.handle.victim_gateway.name
+
+        time_to_first_block = None
+        first_temp = log.first(EventType.TEMP_FILTER_INSTALLED, node=victim_gw)
+        if first_temp is not None:
+            time_to_first_block = first_temp.time - attack_start
+        time_to_attacker_gw = None
+        first_remote = log.first(EventType.FILTER_INSTALLED)
+        if first_remote is not None:
+            time_to_attacker_gw = first_remote.time - attack_start
+
+        control_events = (EventType.REQUEST_SENT, EventType.HANDSHAKE_STARTED,
+                          EventType.HANDSHAKE_CONFIRMED, EventType.HANDSHAKE_FAILED)
+        return {
+            "backend": self.name,
+            "time_to_first_block": time_to_first_block,
+            "nodes_involved": len({event.node for event in log}),
+            "control_messages": sum(log.count(e) for e in control_events),
+            "time_to_attacker_gateway_filter": time_to_attacker_gw,
+            "escalation_rounds": log.max_round(),
+            "disconnections": log.count(EventType.DISCONNECTION),
+            "shadow_hits": log.count(EventType.SHADOW_HIT),
+            "requests_sent_by_victim": len([
+                e for e in log.of_type(EventType.REQUEST_SENT)
+                if e.node == ctx.handle.victim.name
+            ]),
+        }
+
+
+@DEFENSES.register("pushback")
+class PushbackBackend(DefenseBackend):
+    """Mahajan et al.'s Pushback: hop-by-hop aggregate rate limiting.
+
+    The victim's gateway starts rate-limiting the aggregate "everything
+    toward the victim" ``detection_delay`` seconds after the attack starts,
+    then recursively asks upstream routers to do the same.  Params:
+    ``limit_bps``, ``review_interval``, ``drop_rate_threshold``.
+    """
+
+    name = "pushback"
+
+    def __init__(self, params: Optional[Mapping[str, Any]] = None) -> None:
+        super().__init__(params)
+        self.deployment: Optional[PushbackDeployment] = None
+
+    def deploy(self, ctx: Any) -> None:
+        self.deployment = deploy_pushback(
+            ctx.handle.topology.border_routers(),
+            limit_bps=float(self.params.get("limit_bps", 1e6)),
+            review_interval=float(self.params.get("review_interval", 0.5)),
+            drop_rate_threshold=float(self.params.get("drop_rate_threshold", 0.2)),
+        )
+
+    def arm(self, ctx: Any) -> None:
+        assert self.deployment is not None
+        aggregate = FlowLabel.to_destination(ctx.handle.victim.address)
+        start_at = ctx.attack_window_start + ctx.spec.detection_delay
+        ctx.sim.call_at(start_at, self.deployment.start_at,
+                        ctx.handle.victim_gateway.name, aggregate,
+                        name="pushback-detection")
+
+    def collect(self, ctx: Any) -> Dict[str, Any]:
+        assert self.deployment is not None
+        victim_gw_agent = self.deployment.agents.get(ctx.handle.victim_gateway.name)
+        time_to_first_block = None
+        if victim_gw_agent is not None and victim_gw_agent.limiters:
+            first = min(l.installed_at for l in victim_gw_agent.limiters.values())
+            time_to_first_block = first - ctx.attack_window_start
+        dropped = passed = 0
+        for agent in self.deployment.agents.values():
+            for limiter in agent.limiters.values():
+                dropped += limiter.packets_dropped
+                passed += limiter.packets_passed
+        return {
+            "backend": self.name,
+            "time_to_first_block": time_to_first_block,
+            "nodes_involved": self.deployment.routers_involved,
+            "control_messages": self.deployment.total_requests,
+            "total_limiters": self.deployment.total_limiters,
+            "packets_dropped": dropped,
+            "packets_passed": passed,
+        }
+
+
+@DEFENSES.register("ingress-dpf")
+class IngressDPFBackend(DefenseBackend):
+    """Route-based/ingress filtering in the spirit of DPF [PL01]: every
+    border router enforces its per-link source policy.  Proactive — there is
+    no reaction time — but only spoofed traffic is affected."""
+
+    name = "ingress-dpf"
+
+    def __init__(self, params: Optional[Mapping[str, Any]] = None) -> None:
+        super().__init__(params)
+        self._routers: List[Any] = []
+
+    def deploy(self, ctx: Any) -> None:
+        self._routers = enable_universal_ingress_filtering(ctx.handle.all_nodes())
+
+    def collect(self, ctx: Any) -> Dict[str, Any]:
+        stats = collect_ingress_stats(ctx.handle.all_nodes())
+        return {
+            "backend": self.name,
+            # Proactive: whatever it blocks, it blocks from t=0.
+            "time_to_first_block": 0.0 if stats.spoofed_dropped else None,
+            "nodes_involved": stats.routers_enforcing,
+            "control_messages": 0,
+            "packets_checked": stats.packets_checked,
+            "spoofed_detected": stats.spoofed_detected,
+            "spoofed_dropped": stats.spoofed_dropped,
+            "detection_ratio": stats.detection_ratio,
+        }
+
+
+@DEFENSES.register("manual")
+class ManualBackend(DefenseBackend):
+    """The status quo: a human operator notices the attack, configures the
+    edge router, then phones the ISP for an upstream filter.  Params:
+    ``local_response_delay``, ``upstream_response_delay``,
+    ``filter_duration`` (all seconds; paper-scale defaults of minutes)."""
+
+    name = "manual"
+
+    def __init__(self, params: Optional[Mapping[str, Any]] = None) -> None:
+        super().__init__(params)
+        self.operator: Optional[ManualFilteringOperator] = None
+
+    def deploy(self, ctx: Any) -> None:
+        self.operator = ManualFilteringOperator(
+            ctx.sim,
+            local_response_delay=float(self.params.get("local_response_delay", 300.0)),
+            upstream_response_delay=float(self.params.get("upstream_response_delay", 900.0)),
+            filter_duration=float(self.params.get("filter_duration", 3600.0)),
+        )
+
+    def arm(self, ctx: Any) -> None:
+        assert self.operator is not None
+        for workload in ctx.attack_workloads():
+            hosts = workload.attacker_hosts
+            labels = workload.flow_labels
+            # Pair labels with their source hosts when the workload gives us
+            # one label per host (floods, zombie armies); otherwise fall back
+            # to the first attacker's path for the upstream router.
+            for index, label in enumerate(labels):
+                host = hosts[index] if index < len(hosts) else hosts[0]
+                upstream = ctx.handle.upstream_of_victim_gateway(host)
+                self.operator.respond(
+                    label, ctx.handle.victim_gateway, upstream,
+                    attack_start=workload.start_time + ctx.spec.detection_delay,
+                )
+
+    def collect(self, ctx: Any) -> Dict[str, Any]:
+        assert self.operator is not None
+        first = self.operator.time_to_first_filter()
+        routers = {action.router.name for action in self.operator.actions
+                   if action.installed_at is not None}
+        return {
+            "backend": self.name,
+            "time_to_first_block": (first - ctx.attack_window_start)
+            if first is not None else None,
+            "nodes_involved": len(routers),
+            # Operators coordinate by telephone, not control packets.
+            "control_messages": 0,
+            "filters_installed": self.operator.filters_installed,
+            "filters_scheduled": len(self.operator.actions),
+        }
+
+
+def build_backend(name: str, params: Mapping[str, Any]) -> DefenseBackend:
+    """Resolve ``name`` in the registry and instantiate the backend."""
+    backend_class = DEFENSES.get(name)
+    return backend_class(params)

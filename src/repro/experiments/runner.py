@@ -1,0 +1,217 @@
+"""Execute an :class:`ExperimentSpec` and produce an :class:`ExperimentResult`.
+
+The runner is the single harness behind the CLI, the sweep runner, the
+legacy scenario shims and the engine benchmarks.  It wires an experiment in
+a fixed, documented order — topology, defense deploy, workloads, defense
+arm, meters — and starts traffic in spec order followed by the occupancy
+samplers.  That order matters: it reproduces the construction/start sequence
+of the original hand-written scenarios bit for bit (pinned by the golden
+determinism tests), so moving a scenario onto a spec does not move a single
+metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.metrics import FlowMeter, GoodputMeter, OccupancySampler
+from repro.core.config import AITFConfig
+from repro.experiments.backends import DefenseBackend, build_backend
+from repro.experiments.spec import SPEC_SCHEMA, ExperimentSpec
+from repro.experiments.topologies import TopologyHandle, build_topology
+from repro.experiments.workloads import WorkloadHandle, build_workload
+from repro.router.nodes import BorderRouter
+from repro.sim.engine import Simulator
+from repro.sim.randomness import SeededRandom
+
+#: Version tag written into serialized results; bump on incompatible change.
+RESULT_SCHEMA = "experiment_result/v1"
+
+
+@dataclass
+class ExperimentResult:
+    """The uniform result of one experiment, whatever the defense was.
+
+    Every backend reports the same top-level metric names, so results from
+    an AITF run and a Pushback run land in the same table / JSON shape and
+    ``repro compare`` and ``repro sweep`` need no per-backend code.
+    """
+
+    schema: str
+    name: str
+    topology: str
+    defense: str
+    duration: float
+    seed: int
+    attack_offered_bps: float
+    attack_received_bps: float
+    effective_bandwidth_ratio: float
+    legit_offered_bps: float
+    legit_goodput_bps: float
+    legit_delivery_ratio: float
+    time_to_first_block: Optional[float]
+    nodes_involved: int
+    control_messages: int
+    victim_gateway_peak_filters: Optional[float]
+    attacker_gateway_peak_filters: Optional[float]
+    defense_stats: Dict[str, Any] = field(default_factory=dict)
+    workload_stats: List[Dict[str, Any]] = field(default_factory=list)
+    spec: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (shared serializer, nested specs included)."""
+        from repro.analysis.report import result_to_dict
+
+        return result_to_dict(self)
+
+
+class ExperimentExecution:
+    """A fully wired experiment, ready to run.
+
+    Exists separately from :class:`ExperimentRunner` so callers that need
+    the live objects — the legacy scenario shims exposing ``.deployment``,
+    the benchmarks counting generated packets — can reach topology handles,
+    workload generators and meters before and after the run.
+    """
+
+    def __init__(self, spec: ExperimentSpec) -> None:
+        self.spec = spec
+        self.handle: TopologyHandle = build_topology(spec.topology.kind,
+                                                     spec.topology.params)
+        self.config: AITFConfig = (AITFConfig(**dict(spec.aitf))
+                                   if spec.aitf else AITFConfig())
+        self.rng = SeededRandom(spec.seed, name="experiment")
+        self.backend: DefenseBackend = build_backend(spec.defense.backend,
+                                                     spec.defense.params)
+        self.backend.deploy(self)
+        self.workloads: List[WorkloadHandle] = [
+            build_workload(self, index, workload.kind, workload.params)
+            for index, workload in enumerate(spec.workloads)
+        ]
+        self.backend.arm(self)
+
+        # Meters: one flow/tag meter per attack workload, one goodput meter,
+        # and (optionally) occupancy samplers at both gateways.
+        victim = self.handle.victim
+        self.attack_meters: List[Any] = []
+        for workload in self.attack_workloads():
+            labels = workload.flow_labels
+            if len(labels) == 1:
+                self.attack_meters.append(FlowMeter(victim, labels[0]))
+            else:
+                tag = getattr(workload, "flow_tag", "attack")
+                self.attack_meters.append(GoodputMeter(victim, flow_tag_prefix=tag))
+        self.goodput_meter = GoodputMeter(victim)
+        self.victim_gw_occupancy: Optional[OccupancySampler] = None
+        self.attacker_gw_occupancy: Optional[OccupancySampler] = None
+        if spec.sample_occupancy:
+            victim_gw = self.handle.victim_gateway
+            self.victim_gw_occupancy = OccupancySampler(
+                self.sim, lambda: victim_gw.filter_table.occupancy,
+                name=f"{victim_gw.name}-filters",
+            )
+            attacker_gw = self._attacker_gateway()
+            if attacker_gw is not None:
+                self.attacker_gw_occupancy = OccupancySampler(
+                    self.sim, lambda: attacker_gw.filter_table.occupancy,
+                    name=f"{attacker_gw.name}-filters",
+                )
+        self._ran_until: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # context surface used by backends and workload builders
+    # ------------------------------------------------------------------
+    @property
+    def sim(self) -> Simulator:
+        """The simulator the experiment runs on."""
+        return self.handle.sim
+
+    def attack_workloads(self) -> List[WorkloadHandle]:
+        """Workloads playing the attacker role, in spec order."""
+        return [w for w in self.workloads if w.role == "attack"]
+
+    def legit_workloads(self) -> List[WorkloadHandle]:
+        """Workloads playing the legitimate role, in spec order."""
+        return [w for w in self.workloads if w.role == "legit"]
+
+    @property
+    def attack_window_start(self) -> float:
+        """When the attack begins (metric windows open here)."""
+        attacks = self.attack_workloads()
+        return min((w.start_time for w in attacks), default=0.0)
+
+    def _attacker_gateway(self) -> Optional[BorderRouter]:
+        attacks = self.attack_workloads()
+        if not attacks or not attacks[0].attacker_hosts:
+            return None
+        return self.handle.attacker_gateway(attacks[0].attacker_hosts[0])
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> ExperimentResult:
+        """Run the simulation to ``until`` (default: the spec's duration)."""
+        duration = until if until is not None else self.spec.duration
+        if self._ran_until is None:
+            for workload in self.workloads:
+                workload.start()
+            if self.victim_gw_occupancy is not None:
+                self.victim_gw_occupancy.start()
+            if self.attacker_gw_occupancy is not None:
+                self.attacker_gw_occupancy.start()
+        self.sim.run(until=duration)
+        self._ran_until = duration
+        return self._collect(duration)
+
+    def _collect(self, duration: float) -> ExperimentResult:
+        window = (self.attack_window_start, duration)
+        attack_offered = sum(w.offered_bps for w in self.attack_workloads())
+        attack_received = 0.0
+        for meter in self.attack_meters:
+            if isinstance(meter, FlowMeter):
+                attack_received += meter.received_bps(*window)
+            else:
+                attack_received += meter.goodput_bps(*window)
+        legit_offered = sum(w.offered_bps for w in self.legit_workloads())
+        legit_goodput = self.goodput_meter.goodput_bps(*window)
+        defense_stats = self.backend.collect(self)
+        return ExperimentResult(
+            schema=RESULT_SCHEMA,
+            name=self.spec.name,
+            topology=self.spec.topology.kind,
+            defense=self.spec.defense.backend,
+            duration=duration,
+            seed=self.spec.seed,
+            attack_offered_bps=attack_offered,
+            attack_received_bps=attack_received,
+            effective_bandwidth_ratio=(attack_received / attack_offered)
+            if attack_offered else 0.0,
+            legit_offered_bps=legit_offered,
+            legit_goodput_bps=legit_goodput,
+            legit_delivery_ratio=min(1.0, legit_goodput / legit_offered)
+            if legit_offered > 0 else 0.0,
+            time_to_first_block=defense_stats.get("time_to_first_block"),
+            nodes_involved=int(defense_stats.get("nodes_involved", 0)),
+            control_messages=int(defense_stats.get("control_messages", 0)),
+            victim_gateway_peak_filters=self.victim_gw_occupancy.peak
+            if self.victim_gw_occupancy is not None else None,
+            attacker_gateway_peak_filters=self.attacker_gw_occupancy.peak
+            if self.attacker_gw_occupancy is not None else None,
+            defense_stats=defense_stats,
+            workload_stats=[w.stats() for w in self.workloads],
+            spec=self.spec.to_dict(),
+        )
+
+
+class ExperimentRunner:
+    """Build and run experiments from declarative specs."""
+
+    def prepare(self, spec: ExperimentSpec) -> ExperimentExecution:
+        """Wire everything up without running (benchmarks and shims use this)."""
+        return ExperimentExecution(spec)
+
+    def run(self, spec: ExperimentSpec,
+            duration: Optional[float] = None) -> ExperimentResult:
+        """Prepare and run in one step."""
+        return self.prepare(spec).run(until=duration)

@@ -1,0 +1,317 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` names everything one run needs — a topology, a
+defense backend, a set of workloads, the AITF timing parameters, the
+detection delay, the horizon and the seed — as plain data.  Specs round-trip
+through JSON (``to_json`` / ``from_json``), which is what makes shell-script
+sweeps, the ``repro run --spec`` CLI and the parallel sweep runner possible:
+a spec can be written to a file, edited, diffed, and shipped to a worker
+process without any Python object crossing the boundary.
+
+The names inside a spec (``topology.kind``, ``defense.backend``,
+``workloads[].kind``) are resolved against the registries in
+:mod:`repro.experiments.registry` at run time, so a spec referring to a
+backend that does not exist fails with a message listing the valid choices.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Version tag written into serialized specs; bump on incompatible change.
+SPEC_SCHEMA = "experiment_spec/v1"
+
+
+def _params_dict(params: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
+    return dict(params) if params else {}
+
+
+@dataclass
+class TopologySpec:
+    """Which network to build, by registry name, plus builder parameters."""
+
+    kind: str = "figure1"
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": copy.deepcopy(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TopologySpec":
+        _reject_unknown_keys(data, {"kind", "params"}, "topology")
+        return cls(kind=data.get("kind", "figure1"),
+                   params=_params_dict(data.get("params")))
+
+
+@dataclass
+class DefenseSpec:
+    """Which defense backend to install, by registry name, plus parameters."""
+
+    backend: str = "aitf"
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"backend": self.backend, "params": copy.deepcopy(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DefenseSpec":
+        _reject_unknown_keys(data, {"backend", "params"}, "defense")
+        return cls(backend=data.get("backend", "aitf"),
+                   params=_params_dict(data.get("params")))
+
+
+@dataclass
+class WorkloadSpec:
+    """One traffic source (attack or legitimate), by registry name."""
+
+    kind: str = "flood"
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": copy.deepcopy(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        _reject_unknown_keys(data, {"kind", "params"}, "workload")
+        if "kind" not in data:
+            raise ValueError("workload spec requires a 'kind'")
+        return cls(kind=data["kind"], params=_params_dict(data.get("params")))
+
+
+@dataclass
+class ExperimentSpec:
+    """A complete, JSON-round-trippable description of one experiment.
+
+    Attributes
+    ----------
+    name:
+        Free-form label carried into results.
+    topology / defense / workloads:
+        Registry references (see :mod:`repro.experiments.registry`).
+    aitf:
+        Overrides for :class:`repro.core.config.AITFConfig` fields
+        (``filter_timeout``, ``temporary_filter_timeout``, ...).  Applied
+        whenever the experiment needs an AITF configuration — by the ``aitf``
+        backend and by workloads whose defaults derive from Ttmp (on-off).
+    detection_delay:
+        Td — the delay between attack start (or first undesired packet) and
+        the defense reacting; consumed by the aitf, pushback and manual
+        backends.
+    duration:
+        Simulated horizon in seconds (the CLI can override at run time).
+    seed:
+        Root seed for every stochastic component of the run.
+    sample_occupancy:
+        Attach filter-table occupancy samplers at the victim's and
+        attacker's gateways (the flood experiments want this; pure
+        protocol-timing experiments can switch it off).
+    """
+
+    name: str = "experiment"
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    defense: DefenseSpec = field(default_factory=DefenseSpec)
+    workloads: Tuple[WorkloadSpec, ...] = ()
+    aitf: Dict[str, Any] = field(default_factory=dict)
+    detection_delay: float = 0.1
+    duration: float = 10.0
+    seed: int = 0
+    sample_occupancy: bool = True
+
+    def __post_init__(self) -> None:
+        self.workloads = tuple(self.workloads)
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.detection_delay < 0:
+            raise ValueError("detection_delay must be non-negative")
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form, including the schema tag."""
+        return {
+            "schema": SPEC_SCHEMA,
+            "name": self.name,
+            "topology": self.topology.to_dict(),
+            "defense": self.defense.to_dict(),
+            "workloads": [w.to_dict() for w in self.workloads],
+            "aitf": copy.deepcopy(self.aitf),
+            "detection_delay": self.detection_delay,
+            "duration": self.duration,
+            "seed": self.seed,
+            "sample_occupancy": self.sample_occupancy,
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """The spec as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from its :meth:`to_dict` form (schema-checked)."""
+        schema = data.get("schema", SPEC_SCHEMA)
+        if schema != SPEC_SCHEMA:
+            raise ValueError(
+                f"unsupported spec schema {schema!r} (this build reads {SPEC_SCHEMA!r})"
+            )
+        known = {"schema", "name", "topology", "defense", "workloads", "aitf",
+                 "detection_delay", "duration", "seed", "sample_occupancy"}
+        _reject_unknown_keys(data, known, "experiment")
+        return cls(
+            name=data.get("name", "experiment"),
+            topology=TopologySpec.from_dict(data.get("topology", {})),
+            defense=DefenseSpec.from_dict(data.get("defense", {})),
+            workloads=tuple(WorkloadSpec.from_dict(w)
+                            for w in data.get("workloads", [])),
+            aitf=_params_dict(data.get("aitf")),
+            detection_delay=float(data.get("detection_delay", 0.1)),
+            duration=float(data.get("duration", 10.0)),
+            seed=int(data.get("seed", 0)),
+            sample_occupancy=bool(data.get("sample_occupancy", True)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str) -> "ExperimentSpec":
+        """Read a spec from a JSON file."""
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+    def save(self, path: str) -> None:
+        """Write the spec to a JSON file."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "ExperimentSpec":
+        """A copy with dotted-path overrides applied (see :func:`apply_override`).
+
+        Example: ``spec.with_overrides({"defense.backend": "pushback",
+        "workloads.0.params.rate_pps": 3000})``.
+        """
+        data = self.to_dict()
+        for path, value in overrides.items():
+            apply_override(data, path, value)
+        return ExperimentSpec.from_dict(data)
+
+
+def apply_override(data: Dict[str, Any], path: str, value: Any) -> None:
+    """Set ``value`` at a dotted ``path`` inside a spec dict, in place.
+
+    Path segments index dicts by key and lists by integer
+    (``workloads.1.params.rate_pps``).  Intermediate dict keys that are
+    missing but legal (e.g. an empty ``params``) are created; a segment that
+    neither exists nor can be created raises ``ValueError`` naming the path.
+    """
+    segments = path.split(".")
+    node: Any = data
+    for index, segment in enumerate(segments[:-1]):
+        if isinstance(node, list):
+            node = _list_item(node, segment, path)
+        elif isinstance(node, dict):
+            if segment not in node:
+                node[segment] = {}
+            node = node[segment]
+        else:
+            raise ValueError(
+                f"cannot descend into {'.'.join(segments[:index + 1])!r} "
+                f"(not a dict or list) while applying {path!r}"
+            )
+    leaf = segments[-1]
+    if isinstance(node, list):
+        node[_list_index(node, leaf, path)] = value
+    elif isinstance(node, dict):
+        node[leaf] = value
+    else:
+        raise ValueError(f"cannot set {path!r}: parent is not a dict or list")
+
+
+def _list_index(node: List[Any], segment: str, path: str) -> int:
+    try:
+        index = int(segment)
+    except ValueError:
+        raise ValueError(f"{segment!r} in {path!r} must be a list index") from None
+    if not -len(node) <= index < len(node):
+        raise ValueError(f"index {index} in {path!r} is out of range "
+                         f"(list has {len(node)} items)")
+    return index
+
+
+def _list_item(node: List[Any], segment: str, path: str) -> Any:
+    return node[_list_index(node, segment, path)]
+
+
+def _reject_unknown_keys(data: Mapping[str, Any], known: set, where: str) -> None:
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(f"unknown {where} spec key(s): {', '.join(unknown)} "
+                         f"(known: {', '.join(sorted(known))})")
+
+
+# ----------------------------------------------------------------------
+# canonical specs
+# ----------------------------------------------------------------------
+def default_flood_spec(
+    *,
+    topology: str = "figure1",
+    defense: str = "aitf",
+    attack_pps: float = 1500.0,
+    attack_packet_size: int = 1000,
+    attack_start: float = 0.5,
+    legit_pps: float = 400.0,
+    detection_delay: float = 0.1,
+    duration: float = 10.0,
+    seed: int = 0,
+    filter_timeout: float = 60.0,
+    temporary_filter_timeout: float = 1.0,
+    non_cooperating: Sequence[str] = ("B_host",),
+    topology_params: Optional[Mapping[str, Any]] = None,
+    defense_params: Optional[Mapping[str, Any]] = None,
+    name: str = "flood-defense",
+) -> ExperimentSpec:
+    """The paper's canonical experiment: one flood plus legitimate traffic
+    on the Figure-1 topology, under any registered defense backend.
+
+    This is the spec behind ``repro run`` defaults, the ``flood`` CLI shim,
+    the :class:`~repro.scenarios.flood_defense.FloodDefenseScenario` shim and
+    the flood engine benchmarks — one definition, many harnesses.
+
+    ``topology`` may name any registered topology.  The figure1-specific
+    defaults (an extra good host for legitimate traffic, ``B_host`` refusing
+    to cooperate) only apply on figure1; other topologies start from their
+    builders' defaults, with every node cooperative.
+    """
+    topo_params: Dict[str, Any] = {"extra_good_hosts": 1} if topology == "figure1" else {}
+    topo_params.update(topology_params or {})
+    d_params: Dict[str, Any] = {}
+    if defense == "aitf" and topology == "figure1":
+        d_params["non_cooperating"] = list(non_cooperating)
+    d_params.update(defense_params or {})
+    return ExperimentSpec(
+        name=name,
+        topology=TopologySpec(topology, topo_params),
+        defense=DefenseSpec(defense, d_params),
+        workloads=(
+            WorkloadSpec("legitimate", {"rate_pps": legit_pps,
+                                        "packet_size": 1000, "start": 0.0}),
+            WorkloadSpec("flood", {"rate_pps": attack_pps,
+                                   "packet_size": attack_packet_size,
+                                   "start": attack_start}),
+        ),
+        aitf={"filter_timeout": filter_timeout,
+              "temporary_filter_timeout": temporary_filter_timeout},
+        detection_delay=detection_delay,
+        duration=duration,
+        seed=seed,
+    )

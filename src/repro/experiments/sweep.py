@@ -1,0 +1,173 @@
+"""Parameter sweeps: expand a grid over a base spec, run cells in parallel.
+
+``expand_grid`` turns ``{"defense.backend": ["aitf", "pushback"],
+"duration": [4, 8]}`` into one :class:`SweepCell` per combination, each with
+a deterministic seed derived from the base seed and the cell's overrides (a
+stable SHA-256 derivation — independent of Python's hash randomisation, of
+grid insertion order, and of how many workers later execute the sweep).
+
+``SweepRunner`` executes the cells serially or on a ``concurrent.futures``
+process pool.  Cells are independent simulations, specs cross the process
+boundary as JSON-able dicts, and results are reassembled in cell order — so
+the output document is byte-identical whatever the worker count, which the
+determinism tests pin.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.spec import ExperimentSpec
+
+#: Version tag written into serialized sweep documents.
+SWEEP_SCHEMA = "experiment_sweep/v1"
+
+
+def derive_cell_seed(base_seed: int, overrides: Mapping[str, Any]) -> int:
+    """A stable per-cell seed from the base seed and the cell's overrides.
+
+    Uses SHA-256 rather than ``hash()`` so the derivation survives process
+    boundaries and ``PYTHONHASHSEED`` changes — the property the parallel
+    determinism guarantee rests on.
+    """
+    payload = json.dumps(
+        [int(base_seed), sorted((str(k), repr(v)) for k, v in overrides.items())],
+        sort_keys=True,
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
+
+
+@dataclass
+class SweepCell:
+    """One grid point: the overrides applied and the concrete spec to run."""
+
+    index: int
+    overrides: Dict[str, Any]
+    spec: ExperimentSpec
+
+
+def expand_grid(base: ExperimentSpec, grid: Mapping[str, Sequence[Any]],
+                *, reseed: bool = True) -> List[SweepCell]:
+    """Cartesian-product ``grid`` over ``base`` into concrete sweep cells.
+
+    Grid keys are dotted paths into the spec (``defense.backend``,
+    ``workloads.1.params.rate_pps``, ``duration``); values are the points on
+    that axis.  With ``reseed`` (the default) every cell gets its own
+    derived seed; ``reseed=False`` keeps the base seed in every cell, which
+    pairs cells for like-for-like defense comparisons.  A ``seed`` axis in
+    the grid always wins over both — sweeping seeds explicitly is how
+    replication studies ask for *those* seeds, so reseeding must not
+    silently replace them.
+    """
+    axes = [(key, list(values)) for key, values in grid.items()]
+    for key, values in axes:
+        if not values:
+            raise ValueError(f"sweep axis {key!r} has no values")
+    cells: List[SweepCell] = []
+    for combo in itertools.product(*(values for _, values in axes)):
+        overrides = {key: value for (key, _), value in zip(axes, combo)}
+        spec = base.with_overrides(overrides)
+        if reseed and "seed" not in overrides:
+            spec = spec.with_overrides(
+                {"seed": derive_cell_seed(base.seed, overrides)})
+        cells.append(SweepCell(index=len(cells), overrides=overrides, spec=spec))
+    return cells
+
+
+@dataclass
+class SweepResult:
+    """Every cell's result, in grid order, plus the provenance to rerun it."""
+
+    base_spec: Dict[str, Any]
+    grid: Dict[str, List[Any]]
+    workers: int
+    cells: List[Dict[str, Any]] = field(default_factory=list)
+    schema: str = SWEEP_SCHEMA
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable document."""
+        return {
+            "schema": self.schema,
+            "base_spec": self.base_spec,
+            "grid": self.grid,
+            "workers": self.workers,
+            "cells": self.cells,
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """The sweep document as JSON text."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write(self, path: str) -> None:
+        """Write the sweep document to a JSON file."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+
+def _execute_cell(spec_data: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one cell from its dict form (module-level so it pickles)."""
+    spec = ExperimentSpec.from_dict(spec_data)
+    return ExperimentRunner().run(spec).to_dict()
+
+
+class SweepRunner:
+    """Expand a grid and run every cell, optionally in parallel.
+
+    ``workers <= 1`` runs serially in-process.  ``workers > 1`` uses a
+    ``concurrent.futures.ProcessPoolExecutor``; if the platform cannot spawn
+    worker processes the runner degrades to serial execution rather than
+    failing the sweep.  Results are identical either way.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+
+    def run_grid(self, base: ExperimentSpec, grid: Mapping[str, Sequence[Any]],
+                 *, reseed: bool = True) -> SweepResult:
+        """Expand ``grid`` over ``base`` and run all cells."""
+        cells = expand_grid(base, grid, reseed=reseed)
+        return self.run_cells(cells, base_spec=base.to_dict(),
+                              grid={k: list(v) for k, v in grid.items()})
+
+    def run_cells(self, cells: Sequence[SweepCell], *,
+                  base_spec: Optional[Dict[str, Any]] = None,
+                  grid: Optional[Dict[str, List[Any]]] = None) -> SweepResult:
+        """Run pre-expanded cells; results come back in cell order."""
+        spec_dicts = [cell.spec.to_dict() for cell in cells]
+        results = self._execute_all(spec_dicts)
+        documents = [
+            {
+                "index": cell.index,
+                "overrides": dict(cell.overrides),
+                "seed": cell.spec.seed,
+                "result": result,
+            }
+            for cell, result in zip(cells, results)
+        ]
+        return SweepResult(
+            base_spec=base_spec or {},
+            grid=grid or {},
+            workers=self.workers,
+            cells=documents,
+        )
+
+    def _execute_all(self, spec_dicts: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        if self.workers <= 1 or len(spec_dicts) <= 1:
+            return [_execute_cell(d) for d in spec_dicts]
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(spec_dicts))) as pool:
+                return list(pool.map(_execute_cell, spec_dicts))
+        except (OSError, PermissionError, concurrent.futures.process.BrokenProcessPool):
+            # Sandboxes without fork/spawn still get a correct (serial) sweep.
+            return [_execute_cell(d) for d in spec_dicts]

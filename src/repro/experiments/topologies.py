@@ -1,0 +1,163 @@
+"""Topology registry: build any registered network from a spec.
+
+Each builder normalises its topology into a :class:`TopologyHandle` so the
+runner, backends and workloads can reason about *roles* (victim, victim's
+gateway, attacker candidates, legitimate senders) without knowing which
+concrete network they are on.  The raw builder result stays reachable via
+``handle.raw`` for anything topology-specific.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.experiments.registry import TOPOLOGIES
+from repro.router.nodes import BorderRouter, Host
+from repro.sim.engine import Simulator
+from repro.topology.base import Topology
+from repro.topology.figure1 import build_figure1
+from repro.topology.tree import build_dumbbell, build_provider_tree
+
+
+@dataclass
+class TopologyHandle:
+    """A built network with its experiment roles assigned."""
+
+    kind: str
+    topology: Topology
+    victim: Host
+    victim_gateway: BorderRouter
+    attackers: Tuple[Host, ...] = ()
+    legit_senders: Tuple[Host, ...] = ()
+    raw: Any = None
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulator every node of this topology runs on."""
+        return self.topology.sim
+
+    def all_nodes(self):
+        """Every node, for handing to a defense backend's deploy step."""
+        return self.topology.all_nodes()
+
+    def attack_path(self, attacker: Host) -> Tuple[str, ...]:
+        """Border routers from ``attacker`` to the victim (attacker's gateway first)."""
+        return self.topology.border_router_path(attacker, self.victim)
+
+    def attacker_gateway(self, attacker: Host) -> Optional[BorderRouter]:
+        """The border router closest to ``attacker`` on the path to the victim."""
+        path = self.attack_path(attacker)
+        if not path:
+            return None
+        node = self.topology.node(path[0])
+        return node if isinstance(node, BorderRouter) else None
+
+    def upstream_of_victim_gateway(self, attacker: Host) -> Optional[BorderRouter]:
+        """The router one hop upstream of the victim's gateway on the attack path."""
+        path = self.attack_path(attacker)
+        if len(path) < 2:
+            return None
+        node = self.topology.node(path[-2])
+        return node if isinstance(node, BorderRouter) else None
+
+
+@TOPOLOGIES.register("figure1")
+def _build_figure1_handle(params: Mapping[str, Any]) -> TopologyHandle:
+    """The paper's Figure-1 topology.  Params pass through to
+    :func:`repro.topology.figure1.build_figure1` (``tail_circuit_bandwidth``,
+    ``victim_gateway_delay``, ``filter_capacity``, ``extra_good_hosts``,
+    ``extra_bad_hosts``, ``backbone_bandwidth``)."""
+    figure1 = build_figure1(**dict(params))
+    topo = figure1.topology
+    extra_good = [h for h in topo.hosts()
+                  if h.network == "G_net" and h is not figure1.g_host]
+    extra_bad = [h for h in topo.hosts()
+                 if h.network == "B_net" and h is not figure1.b_host]
+    return TopologyHandle(
+        kind="figure1",
+        topology=topo,
+        victim=figure1.g_host,
+        victim_gateway=figure1.g_gw1,
+        attackers=(figure1.b_host, *extra_bad),
+        legit_senders=tuple(extra_good),
+        raw=figure1,
+    )
+
+
+@TOPOLOGIES.register("dumbbell")
+def _build_dumbbell_handle(params: Mapping[str, Any]) -> TopologyHandle:
+    """Many sources, one victim, two gateways.  When there is more than one
+    source the last one is reserved as a legitimate sender so goodput can be
+    measured alongside the attack; with a single source it attacks."""
+    dumbbell = build_dumbbell(**dict(params))
+    sources = tuple(dumbbell.sources)
+    if len(sources) > 1:
+        attackers, legit = sources[:-1], sources[-1:]
+    else:
+        attackers, legit = sources, ()
+    return TopologyHandle(
+        kind="dumbbell",
+        topology=dumbbell.topology,
+        victim=dumbbell.victim,
+        victim_gateway=dumbbell.victim_gateway,
+        attackers=attackers,
+        legit_senders=legit,
+        raw=dumbbell,
+    )
+
+
+@TOPOLOGIES.register("tree")
+def _build_tree_handle(params: Mapping[str, Any]) -> TopologyHandle:
+    """A provider tree: the victim is the first host of the first client
+    network, attacked from the remote host across the core; the second
+    client's hosts (when present) send legitimate traffic."""
+    tree = build_provider_tree(**dict(params))
+    victim_router = tree.client_routers[0]
+    victim_hosts = tree.hosts_of(victim_router)
+    if not victim_hosts:
+        raise ValueError("tree topology needs hosts_per_client >= 1")
+    legit: Tuple[Host, ...] = ()
+    if len(tree.client_routers) > 1:
+        legit = tuple(tree.hosts_of(tree.client_routers[1]))
+    return TopologyHandle(
+        kind="tree",
+        topology=tree.topology,
+        victim=victim_hosts[0],
+        victim_gateway=victim_router,
+        attackers=(tree.remote_host,),
+        legit_senders=legit,
+        raw=tree,
+    )
+
+
+@TOPOLOGIES.register("powerlaw")
+def _build_powerlaw_handle(params: Mapping[str, Any]) -> TopologyHandle:
+    """A Barabási–Albert AS internet.  Host roles are assigned
+    deterministically: the first leaf host is the victim, the second is a
+    legitimate sender, and everything else is an attacker candidate."""
+    from repro.topology.powerlaw import build_powerlaw_internet
+
+    internet = build_powerlaw_internet(**dict(params))
+    hosts = internet.hosts
+    if len(hosts) < 2:
+        raise ValueError("powerlaw topology needs at least two end-hosts")
+    victim = hosts[0]
+    victim_gateway = internet.leaf_of(victim)
+    if victim_gateway is None:
+        raise ValueError("powerlaw victim has no leaf router")
+    return TopologyHandle(
+        kind="powerlaw",
+        topology=internet.topology,
+        victim=victim,
+        victim_gateway=victim_gateway,
+        attackers=tuple(hosts[2:]),
+        legit_senders=(hosts[1],),
+        raw=internet,
+    )
+
+
+def build_topology(kind: str, params: Mapping[str, Any]) -> TopologyHandle:
+    """Resolve ``kind`` in the registry and build the handle."""
+    builder = TOPOLOGIES.get(kind)
+    return builder(params)

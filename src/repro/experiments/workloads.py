@@ -1,0 +1,267 @@
+"""Workload registry: traffic sources built from workload specs.
+
+Every workload normalises to a :class:`WorkloadHandle` so the runner can
+start it, meter it and report it without knowing what kind of generator sits
+behind it.  Attack workloads additionally expose their flow labels and
+attacker hosts so defense backends can arm themselves (mark detectors,
+schedule manual responses, wire stop callbacks).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.attacks.flood import FloodAttack, SpoofedFloodAttack
+from repro.attacks.legitimate import LegitimateTraffic, PoissonTraffic
+from repro.attacks.onoff import OnOffAttack
+from repro.attacks.zombies import ZombieArmy
+from repro.experiments.registry import WORKLOADS
+from repro.net.flowlabel import FlowLabel
+from repro.router.nodes import Host
+
+
+class WorkloadHandle:
+    """One built traffic source, attack or legitimate."""
+
+    role = "attack"
+
+    def __init__(self, kind: str, generator: Any, *, start_time: float,
+                 params: Mapping[str, Any]) -> None:
+        self.kind = kind
+        self.generator = generator
+        self.start_time = start_time
+        self.params = dict(params)
+
+    def start(self) -> None:
+        """Begin emitting (the generator schedules itself from its start time)."""
+        self.generator.start()
+
+    # -- attack-side surface (legit workloads return empties) ----------
+    @property
+    def flow_labels(self) -> List[FlowLabel]:
+        """Labels a victim would use to block this workload."""
+        return []
+
+    @property
+    def attacker_hosts(self) -> List[Host]:
+        """Hosts this workload emits from."""
+        return []
+
+    def register_stop_callbacks(self, host_agents: Mapping[str, Any]) -> None:
+        """Wire AITF stop requests into the generator (attack workloads only)."""
+
+    # -- accounting ----------------------------------------------------
+    @property
+    def offered_bps(self) -> float:
+        """Average offered load in bits per second (duty-cycle adjusted)."""
+        return self.generator.offered_rate_bps
+
+    def stats(self) -> Dict[str, Any]:
+        """Per-workload counters for the result document."""
+        return {"kind": self.kind, "role": self.role,
+                "offered_bps": self.offered_bps}
+
+
+class _SingleAttackHandle(WorkloadHandle):
+    """An attack from one host with one (src, dst) flow label."""
+
+    def __init__(self, kind: str, generator: Any, attacker: Host,
+                 **kwargs: Any) -> None:
+        super().__init__(kind, generator, **kwargs)
+        self.attacker = attacker
+
+    @property
+    def flow_labels(self) -> List[FlowLabel]:
+        return [self.generator.flow_label]
+
+    @property
+    def attacker_hosts(self) -> List[Host]:
+        return [self.attacker]
+
+    def register_stop_callbacks(self, host_agents: Mapping[str, Any]) -> None:
+        agent = host_agents.get(self.attacker.name)
+        if agent is not None:
+            agent.on_stop_request(self.generator.stop_flow_callback)
+
+    def stats(self) -> Dict[str, Any]:
+        stats = super().stats()
+        stats.update(
+            packets_sent=self.generator.packets_sent,
+            packets_suppressed=self.generator.packets_suppressed,
+        )
+        return stats
+
+
+@WORKLOADS.register("flood")
+def _build_flood(ctx: Any, index: int, params: Mapping[str, Any]) -> WorkloadHandle:
+    """Constant-rate flood from one attacker host.  Params: ``rate_pps``,
+    ``packet_size``, ``start``, ``duration``, ``attacker`` (index into the
+    topology's attacker candidates), ``spoofed``."""
+    attacker = _pick_attacker(ctx, params)
+    start = float(params.get("start", 0.0))
+    common = dict(
+        rate_pps=float(params.get("rate_pps", 1000.0)),
+        packet_size=int(params.get("packet_size", 1000)),
+        start_time=start,
+        duration=params.get("duration"),
+    )
+    if params.get("spoofed", False):
+        attack = SpoofedFloodAttack(attacker, ctx.handle.victim.address,
+                                    rng=ctx.rng.fork(f"spoof-{index}"), **common)
+    else:
+        attack = FloodAttack(attacker, ctx.handle.victim.address, **common)
+    return _SingleAttackHandle("flood", attack, attacker,
+                               start_time=start, params=params)
+
+
+@WORKLOADS.register("onoff")
+def _build_onoff(ctx: Any, index: int, params: Mapping[str, Any]) -> WorkloadHandle:
+    """Pulsed attack (Section II-B).  ``on_duration`` / ``off_duration``
+    default to the attacker-optimal cadence derived from the run's Ttmp."""
+    attacker = _pick_attacker(ctx, params)
+    ttmp = ctx.config.temporary_filter_timeout
+    on = params.get("on_duration")
+    off = params.get("off_duration")
+    start = float(params.get("start", 0.0))
+    attack = OnOffAttack(
+        attacker, ctx.handle.victim.address,
+        rate_pps=float(params.get("rate_pps", 1000.0)),
+        packet_size=int(params.get("packet_size", 1000)),
+        on_duration=float(on) if on is not None else ttmp * 0.5,
+        off_duration=float(off) if off is not None else ttmp * 1.5,
+        start_time=start,
+        cycles=params.get("cycles"),
+    )
+    handle = _OnOffHandle("onoff", attack, attacker, start_time=start, params=params)
+    return handle
+
+
+class _OnOffHandle(_SingleAttackHandle):
+    @property
+    def offered_bps(self) -> float:
+        # The attack only offers traffic during on-phases; report the
+        # duty-cycle average so ratios compare like with like.
+        attack = self.generator
+        duty = attack.on_duration / (attack.on_duration + attack.off_duration)
+        return attack.offered_rate_bps * duty
+
+    def register_stop_callbacks(self, host_agents: Mapping[str, Any]) -> None:
+        # An on-off attacker is by definition not a well-behaved sender; it
+        # never honours stop requests (its own gateway has to block it).
+        return
+
+    def stats(self) -> Dict[str, Any]:
+        stats = super().stats()
+        stats["cycles_completed"] = self.generator.cycles_completed
+        return stats
+
+
+@WORKLOADS.register("legitimate")
+def _build_legitimate(ctx: Any, index: int, params: Mapping[str, Any]) -> WorkloadHandle:
+    """Well-behaved traffic toward the victim.  Params: ``rate_pps``,
+    ``packet_size``, ``start``, ``duration``, ``sender`` (index into the
+    topology's legitimate-sender candidates), ``poisson``."""
+    sender = _pick_sender(ctx, params)
+    start = float(params.get("start", 0.0))
+    common = dict(
+        rate_pps=float(params.get("rate_pps", 100.0)),
+        packet_size=int(params.get("packet_size", 1000)),
+        start_time=start,
+        duration=params.get("duration"),
+    )
+    if params.get("poisson", False):
+        traffic = PoissonTraffic(sender, ctx.handle.victim.address,
+                                 rng=ctx.rng.fork(f"poisson-{index}"), **common)
+    else:
+        traffic = LegitimateTraffic(sender, ctx.handle.victim.address, **common)
+    traffic.attach_receiver(ctx.handle.victim)
+    handle = WorkloadHandle("legitimate", traffic, start_time=start, params=params)
+    handle.role = "legit"
+    return handle
+
+
+@WORKLOADS.register("zombies")
+def _build_zombies(ctx: Any, index: int, params: Mapping[str, Any]) -> WorkloadHandle:
+    """A zombie army: ``count`` attacker hosts flooding the victim together.
+    Params: ``count``, ``rate_pps`` (per zombie), ``packet_size``, ``start``,
+    ``start_jitter``, ``spoofed``."""
+    candidates = list(ctx.handle.attackers)
+    if not candidates:
+        raise ValueError(f"topology {ctx.handle.kind!r} has no attacker hosts")
+    count = int(params.get("count", len(candidates)))
+    if count < 1 or count > len(candidates):
+        raise ValueError(f"zombie count {count} out of range "
+                         f"(topology offers {len(candidates)} attacker hosts)")
+    zombies = candidates[:count]
+    start = float(params.get("start", 0.0))
+    army = ZombieArmy(
+        zombies, ctx.handle.victim.address,
+        rate_pps_per_zombie=float(params.get("rate_pps", 200.0)),
+        packet_size=int(params.get("packet_size", 1000)),
+        start_time=start,
+        start_jitter=float(params.get("start_jitter", 0.0)),
+        spoofed=bool(params.get("spoofed", False)),
+        duration=params.get("duration"),
+        rng=ctx.rng.fork(f"zombies-{index}"),
+    )
+    return _ZombieHandle("zombies", army, zombies, start_time=start, params=params)
+
+
+class _ZombieHandle(WorkloadHandle):
+    #: Every ZombieArmy packet carries this tag; the runner meters by it.
+    flow_tag = "zombie-attack"
+
+    def __init__(self, kind: str, army: ZombieArmy, zombies: List[Host],
+                 **kwargs: Any) -> None:
+        super().__init__(kind, army, **kwargs)
+        self._zombies = list(zombies)
+
+    @property
+    def flow_labels(self) -> List[FlowLabel]:
+        return self.generator.flow_labels
+
+    @property
+    def attacker_hosts(self) -> List[Host]:
+        return list(self._zombies)
+
+    def register_stop_callbacks(self, host_agents: Mapping[str, Any]) -> None:
+        self.generator.register_with_agents(dict(host_agents))
+
+    def stats(self) -> Dict[str, Any]:
+        stats = super().stats()
+        stats.update(zombies=len(self._zombies),
+                     packets_sent=self.generator.packets_sent,
+                     active_count=self.generator.active_count)
+        return stats
+
+
+def _pick_attacker(ctx: Any, params: Mapping[str, Any]) -> Host:
+    candidates = list(ctx.handle.attackers)
+    if not candidates:
+        raise ValueError(f"topology {ctx.handle.kind!r} has no attacker hosts")
+    index = int(params.get("attacker", 0))
+    if not 0 <= index < len(candidates):
+        raise ValueError(f"attacker index {index} out of range "
+                         f"(topology offers {len(candidates)})")
+    return candidates[index]
+
+
+def _pick_sender(ctx: Any, params: Mapping[str, Any]) -> Host:
+    candidates = list(ctx.handle.legit_senders)
+    if not candidates:
+        raise ValueError(
+            f"topology {ctx.handle.kind!r} has no legitimate-sender hosts "
+            "(e.g. build figure1 with extra_good_hosts >= 1)"
+        )
+    index = int(params.get("sender", 0))
+    if not 0 <= index < len(candidates):
+        raise ValueError(f"sender index {index} out of range "
+                         f"(topology offers {len(candidates)})")
+    return candidates[index]
+
+
+def build_workload(ctx: Any, index: int, kind: str,
+                   params: Mapping[str, Any]) -> WorkloadHandle:
+    """Resolve ``kind`` in the registry and build the handle."""
+    builder = WORKLOADS.get(kind)
+    return builder(ctx, index, params)

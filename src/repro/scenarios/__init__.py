@@ -7,6 +7,12 @@
   gateway; exercises the shadow cache and escalation.
 * :class:`VictimGatewayResourceScenario` / :class:`AttackerGatewayResourceScenario`
   — request-rate driven resource measurements behind the Section IV formulas.
+
+``FloodDefenseScenario`` and ``OnOffScenario`` are thin shims over the
+unified experiment API (:mod:`repro.experiments`): they translate their
+constructor arguments into an :class:`repro.experiments.ExperimentSpec` and
+delegate to the experiment runner.  New experiments should compose specs
+directly rather than add scenario classes.
 """
 
 from repro.scenarios.flood_defense import FloodDefenseResult, FloodDefenseScenario

@@ -1,11 +1,12 @@
 """The canonical flood-defense scenario on the Figure 1 topology.
 
 One bad host floods one good host; legitimate traffic shares the victim's
-tail circuit.  The scenario wires up the topology, the AITF deployment, the
-detector, the traffic and the meters, runs the simulation, and returns the
-numbers the paper's claims are about: how fast the flood was blocked, how
-much of it leaked through (effective bandwidth), how far escalation had to
-go, and how much legitimate goodput survived.
+tail circuit.  Historically this class hand-wired the topology, the AITF
+deployment, the detector, the traffic and the meters; it is now a thin shim
+over the unified experiment API (:mod:`repro.experiments`): the constructor
+translates its keyword arguments into an :class:`ExperimentSpec` and the
+experiment runner does the wiring.  The golden determinism tests pin that
+this translation reproduces the pre-refactor metrics bit for bit.
 
 Every experiment knob is a constructor parameter so benchmarks can sweep
 detection delay (Td), the victim-gateway delay (Tr), the filter timeout (T),
@@ -14,18 +15,13 @@ and which attacker-side nodes refuse to cooperate (n).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
-from repro.analysis.metrics import FlowMeter, GoodputMeter, OccupancySampler
-from repro.attacks.flood import FloodAttack
-from repro.attacks.legitimate import LegitimateTraffic
 from repro.core.config import AITFConfig
-from repro.core.deployment import AITFDeployment, deploy_aitf
-from repro.core.detection import ExplicitDetector
-from repro.core.events import EventType
-from repro.net.flowlabel import FlowLabel
-from repro.topology.figure1 import Figure1Topology, build_figure1
+from repro.experiments.runner import ExperimentResult, ExperimentRunner
+from repro.experiments.spec import DefenseSpec, ExperimentSpec, TopologySpec, WorkloadSpec
 
 
 @dataclass
@@ -72,110 +68,118 @@ class FloodDefenseScenario:
         non_cooperating: Sequence[str] = ("B_host",),
         disconnection_enabled: bool = False,
         filter_capacity: int = 1000,
+        seed: int = 0,
     ) -> None:
         self.config = config or AITFConfig()
         self.aitf_enabled = aitf_enabled
         self.attack_start = attack_start
         self.detection_delay = detection_delay
-        self.figure1: Figure1Topology = build_figure1(
-            tail_circuit_bandwidth=tail_circuit_bandwidth,
-            victim_gateway_delay=victim_gateway_delay,
-            filter_capacity=filter_capacity,
-            extra_good_hosts=1,
-        )
-        self.sim = self.figure1.sim
-        topo = self.figure1
-
-        self.deployment: Optional[AITFDeployment] = None
-        self.detector: Optional[ExplicitDetector] = None
         if aitf_enabled:
-            self.deployment = deploy_aitf(topo.all_nodes(), self.config)
-            self.deployment.set_disconnection_enabled(disconnection_enabled)
-            for name in non_cooperating:
-                self.deployment.set_cooperative(name, False)
-            victim_agent = self.deployment.host_agent("G_host")
-            self.detector = ExplicitDetector(victim_agent,
-                                             detection_delay=detection_delay)
-            self.detector.mark_undesired(topo.b_host.address)
+            defense = DefenseSpec("aitf", {
+                "non_cooperating": list(non_cooperating),
+                "disconnection_enabled": disconnection_enabled,
+            })
+        else:
+            defense = DefenseSpec("none")
+        self.spec = ExperimentSpec(
+            name="flood-defense",
+            topology=TopologySpec("figure1", {
+                "tail_circuit_bandwidth": tail_circuit_bandwidth,
+                "victim_gateway_delay": victim_gateway_delay,
+                "filter_capacity": filter_capacity,
+                "extra_good_hosts": 1,
+            }),
+            defense=defense,
+            workloads=(
+                WorkloadSpec("legitimate", {"rate_pps": legit_rate_pps,
+                                            "packet_size": 1000, "start": 0.0}),
+                WorkloadSpec("flood", {"rate_pps": attack_rate_pps,
+                                       "packet_size": attack_packet_size,
+                                       "start": attack_start}),
+            ),
+            aitf=dataclasses.asdict(self.config),
+            detection_delay=detection_delay,
+            duration=10.0,
+            seed=seed,
+        )
+        self._execution = ExperimentRunner().prepare(self.spec)
 
-        # Attack traffic: B_host floods G_host.
-        self.attack = FloodAttack(
-            topo.b_host, topo.g_host.address,
-            rate_pps=attack_rate_pps, packet_size=attack_packet_size,
-            start_time=attack_start,
-        )
-        if self.deployment is not None:
-            attacker_agent = self.deployment.host_agent("B_host")
-            attacker_agent.on_stop_request(self.attack.stop_flow_callback)
+    # ------------------------------------------------------------------
+    # live objects (the pre-shim attribute surface, still supported)
+    # ------------------------------------------------------------------
+    @property
+    def figure1(self):
+        """The built Figure-1 topology handle."""
+        return self._execution.handle.raw
 
-        # Legitimate traffic: the extra good host talks to G_host over the
-        # same tail circuit (this is the goodput that matters).
-        legit_sender = topo.topology.node("G_host2")
-        self.legit = LegitimateTraffic(
-            legit_sender, topo.g_host.address,
-            rate_pps=legit_rate_pps, packet_size=1000, start_time=0.0,
-        )
-        self.legit.attach_receiver(topo.g_host)
+    @property
+    def sim(self):
+        """The simulator the scenario runs on."""
+        return self._execution.sim
 
-        # Meters.
-        self.attack_meter = FlowMeter(topo.g_host, self.attack.flow_label)
-        self.goodput_meter = GoodputMeter(topo.g_host)
-        self.victim_gw_occupancy = OccupancySampler(
-            self.sim, lambda: topo.g_gw1.filter_table.occupancy,
-            name="G_gw1-filters",
-        )
-        self.attacker_gw_occupancy = OccupancySampler(
-            self.sim, lambda: topo.b_gw1.filter_table.occupancy,
-            name="B_gw1-filters",
-        )
+    @property
+    def deployment(self):
+        """The AITF deployment (None when running undefended)."""
+        return getattr(self._execution.backend, "deployment", None)
+
+    @property
+    def detector(self):
+        """The victim's explicit detector (None when running undefended)."""
+        return getattr(self._execution.backend, "detector", None)
+
+    @property
+    def attack(self):
+        """The flood generator."""
+        return self._execution.attack_workloads()[0].generator
+
+    @property
+    def legit(self):
+        """The legitimate-traffic generator."""
+        return self._execution.legit_workloads()[0].generator
+
+    @property
+    def attack_meter(self):
+        """Flow meter counting attack traffic delivered to the victim."""
+        return self._execution.attack_meters[0]
+
+    @property
+    def goodput_meter(self):
+        """Goodput meter at the victim."""
+        return self._execution.goodput_meter
+
+    @property
+    def victim_gw_occupancy(self):
+        """Occupancy sampler on the victim gateway's filter table."""
+        return self._execution.victim_gw_occupancy
+
+    @property
+    def attacker_gw_occupancy(self):
+        """Occupancy sampler on the attacker gateway's filter table."""
+        return self._execution.attacker_gw_occupancy
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def run(self, duration: float = 10.0) -> FloodDefenseResult:
         """Run the scenario for ``duration`` simulated seconds and report."""
-        topo = self.figure1
-        self.legit.start()
-        self.attack.start()
-        self.victim_gw_occupancy.start()
-        self.attacker_gw_occupancy.start()
-        self.sim.run(until=duration)
+        result = self._execution.run(until=duration)
+        return self._legacy_result(result)
 
-        attack_window = (self.attack_start, duration)
-        attack_received = self.attack_meter.received_bps(*attack_window)
-        offered = self.attack.offered_rate_bps
-        log = self.deployment.event_log if self.deployment else None
-
-        time_to_first_block = None
-        time_to_attacker_gw = None
-        escalations = 0
-        disconnections = 0
-        requests_sent = 0
-        if log is not None:
-            first_temp = log.first(EventType.TEMP_FILTER_INSTALLED, node="G_gw1")
-            if first_temp is not None:
-                time_to_first_block = first_temp.time - self.attack_start
-            first_remote = log.first(EventType.FILTER_INSTALLED)
-            if first_remote is not None:
-                time_to_attacker_gw = first_remote.time - self.attack_start
-            escalations = log.max_round()
-            disconnections = log.count(EventType.DISCONNECTION)
-            requests_sent = len([
-                e for e in log.of_type(EventType.REQUEST_SENT) if e.node == "G_host"
-            ])
-
+    def _legacy_result(self, result: ExperimentResult) -> FloodDefenseResult:
+        defense = result.defense_stats
         return FloodDefenseResult(
-            duration=duration,
-            attack_offered_bps=offered,
-            attack_received_bps=attack_received,
-            effective_bandwidth_ratio=(attack_received / offered) if offered else 0.0,
-            legit_offered_bps=self.legit.offered_rate_bps,
-            legit_goodput_bps=self.goodput_meter.goodput_bps(self.attack_start, duration),
-            time_to_first_block=time_to_first_block,
-            time_to_attacker_gateway_filter=time_to_attacker_gw,
-            escalation_rounds=escalations,
-            disconnections=disconnections,
-            victim_gateway_peak_filters=self.victim_gw_occupancy.peak,
-            attacker_gateway_peak_filters=self.attacker_gw_occupancy.peak,
-            requests_sent_by_victim=requests_sent,
+            duration=result.duration,
+            attack_offered_bps=result.attack_offered_bps,
+            attack_received_bps=result.attack_received_bps,
+            effective_bandwidth_ratio=result.effective_bandwidth_ratio,
+            legit_offered_bps=result.legit_offered_bps,
+            legit_goodput_bps=result.legit_goodput_bps,
+            time_to_first_block=defense.get("time_to_first_block"),
+            time_to_attacker_gateway_filter=defense.get(
+                "time_to_attacker_gateway_filter"),
+            escalation_rounds=int(defense.get("escalation_rounds", 0)),
+            disconnections=int(defense.get("disconnections", 0)),
+            victim_gateway_peak_filters=result.victim_gateway_peak_filters or 0.0,
+            attacker_gateway_peak_filters=result.attacker_gateway_peak_filters or 0.0,
+            requests_sent_by_victim=int(defense.get("requests_sent_by_victim", 0)),
         )

@@ -6,6 +6,10 @@ filter, burst again.  The victim's gateway's DRAM shadow cache is what keeps
 the effective bandwidth bounded; escalation pushes the filter one AITF node
 closer to the core each time the flow reappears.
 
+Like :class:`repro.scenarios.flood_defense.FloodDefenseScenario`, this class
+is now a thin shim over the unified experiment API: the constructor builds
+an :class:`ExperimentSpec` (``onoff`` workload, ``aitf`` backend with the
+shadow-cache switch) and delegates the wiring to the experiment runner.
 The scenario exposes the shadow cache as a switch so the ablation benchmark
 can show what happens without it (the paper's justification for spending the
 DRAM).
@@ -13,16 +17,13 @@ DRAM).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.analysis.metrics import FlowMeter
-from repro.attacks.onoff import OnOffAttack
 from repro.core.config import AITFConfig
-from repro.core.deployment import AITFDeployment, deploy_aitf
-from repro.core.detection import ExplicitDetector
-from repro.core.events import EventType
-from repro.topology.figure1 import Figure1Topology, build_figure1
+from repro.experiments.runner import ExperimentResult, ExperimentRunner
+from repro.experiments.spec import DefenseSpec, ExperimentSpec, TopologySpec, WorkloadSpec
 
 
 @dataclass
@@ -53,6 +54,7 @@ class OnOffScenario:
         detection_delay: float = 0.05,
         non_cooperating: Sequence[str] = ("B_host", "B_gw1"),
         shadow_enabled: bool = True,
+        seed: int = 0,
     ) -> None:
         self.config = config or AITFConfig(
             filter_timeout=30.0, temporary_filter_timeout=0.5,
@@ -67,54 +69,85 @@ class OnOffScenario:
         self.on_duration = on_duration if on_duration is not None else ttmp * 0.5
         self.off_duration = off_duration if off_duration is not None else ttmp * 1.5
 
-        self.figure1: Figure1Topology = build_figure1()
-        self.sim = self.figure1.sim
-        self.deployment: AITFDeployment = deploy_aitf(self.figure1.all_nodes(), self.config)
-        self.deployment.set_disconnection_enabled(False)
-        for name in non_cooperating:
-            self.deployment.set_cooperative(name, False)
-        if not shadow_enabled:
-            # Ablation: a victim's gateway that forgets requests as soon as its
-            # temporary filter expires cannot tell a reappearing flow from a
-            # new one.
-            self.deployment.gateway_agent("G_gw1").shadow_cache.capacity = 1
-            self.deployment.gateway_agent("G_gw1").shadow_cache.clear()
-            self.deployment.gateway_agent("G_gw1").config = self.config.with_overrides(
-                shadow_timeout=1e-3,
-            )
-
-        victim_agent = self.deployment.host_agent("G_host")
-        self.detector = ExplicitDetector(victim_agent, detection_delay=detection_delay)
-        self.detector.mark_undesired(self.figure1.b_host.address)
-
-        self.attack = OnOffAttack(
-            self.figure1.b_host, self.figure1.g_host.address,
-            rate_pps=attack_rate_pps,
-            on_duration=self.on_duration,
-            off_duration=self.off_duration,
-            start_time=0.2,
+        self.spec = ExperimentSpec(
+            name="onoff",
+            topology=TopologySpec("figure1", {}),
+            defense=DefenseSpec("aitf", {
+                "non_cooperating": list(non_cooperating),
+                "disconnection_enabled": False,
+                "shadow_enabled": shadow_enabled,
+            }),
+            workloads=(
+                WorkloadSpec("onoff", {
+                    "rate_pps": attack_rate_pps,
+                    "on_duration": self.on_duration,
+                    "off_duration": self.off_duration,
+                    "start": 0.2,
+                }),
+            ),
+            aitf=dataclasses.asdict(self.config),
+            detection_delay=detection_delay,
+            duration=20.0,
+            seed=seed,
+            # The pre-shim scenario attached no occupancy samplers; sampling
+            # purges expired filter entries eagerly, so staying off keeps the
+            # event sequence bit-identical to the golden recordings.
+            sample_occupancy=False,
         )
-        self.meter = FlowMeter(self.figure1.g_host, self.attack.flow_label)
+        self._execution = ExperimentRunner().prepare(self.spec)
 
+    # ------------------------------------------------------------------
+    # live objects (the pre-shim attribute surface, still supported)
+    # ------------------------------------------------------------------
+    @property
+    def figure1(self):
+        """The built Figure-1 topology handle."""
+        return self._execution.handle.raw
+
+    @property
+    def sim(self):
+        """The simulator the scenario runs on."""
+        return self._execution.sim
+
+    @property
+    def deployment(self):
+        """The AITF deployment."""
+        return self._execution.backend.deployment
+
+    @property
+    def detector(self):
+        """The victim's explicit detector."""
+        return self._execution.backend.detector
+
+    @property
+    def attack(self):
+        """The on-off attack generator."""
+        return self._execution.attack_workloads()[0].generator
+
+    @property
+    def meter(self):
+        """Flow meter counting attack traffic delivered to the victim."""
+        return self._execution.attack_meters[0]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
     def run(self, duration: float = 20.0) -> OnOffResult:
         """Run for ``duration`` simulated seconds and report."""
-        self.attack.start()
-        self.sim.run(until=duration)
-        log = self.deployment.event_log
-        offered = self.attack.offered_rate_bps
-        # The attack only offers traffic during on-phases; scale the offered
-        # rate by the duty cycle so the ratio compares like with like.
-        duty_cycle = self.on_duration / (self.on_duration + self.off_duration)
-        offered_average = offered * duty_cycle
-        received = self.meter.received_bps(0.2, duration)
+        result = self._execution.run(until=duration)
+        return self._legacy_result(result)
+
+    def _legacy_result(self, result: ExperimentResult) -> OnOffResult:
+        defense = result.defense_stats
+        workload = result.workload_stats[0]
         return OnOffResult(
-            duration=duration,
-            offered_bps=offered_average,
-            received_bps=received,
-            effective_bandwidth_ratio=(received / offered_average) if offered_average else 0.0,
-            shadow_hits=log.count(EventType.SHADOW_HIT),
-            escalation_rounds=log.max_round(),
-            attack_cycles=self.attack.cycles_completed,
-            packets_sent=self.attack.packets_sent,
+            duration=result.duration,
+            offered_bps=result.attack_offered_bps,
+            received_bps=result.attack_received_bps,
+            effective_bandwidth_ratio=result.effective_bandwidth_ratio,
+            shadow_hits=int(defense.get("shadow_hits", 0)),
+            escalation_rounds=int(defense.get("escalation_rounds", 0)),
+            attack_cycles=int(workload.get("cycles_completed", 0)),
+            packets_sent=int(workload.get("packets_sent", 0)),
             packets_received=self.meter.packets,
         )

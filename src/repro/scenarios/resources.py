@@ -26,6 +26,7 @@ from repro.core.config import AITFConfig
 from repro.core.deployment import AITFDeployment, deploy_aitf
 from repro.core.events import EventType
 from repro.net.flowlabel import FlowLabel
+from repro.sim.randomness import SeededRandom
 from repro.topology.tree import Dumbbell, build_dumbbell
 
 
@@ -55,6 +56,7 @@ class VictimGatewayResourceScenario:
         request_rate: float = 100.0,
         sources: int = 50,
         cooperative_attacker_side: bool = True,
+        seed: int = 0,
     ) -> None:
         self.config = config or AITFConfig(
             filter_timeout=60.0, temporary_filter_timeout=0.6,
@@ -63,7 +65,9 @@ class VictimGatewayResourceScenario:
         self.request_rate = request_rate
         self.dumbbell: Dumbbell = build_dumbbell(sources=sources)
         self.sim = self.dumbbell.sim
-        self.deployment: AITFDeployment = deploy_aitf(self.dumbbell.all_nodes(), self.config)
+        self.deployment: AITFDeployment = deploy_aitf(
+            self.dumbbell.all_nodes(), self.config,
+            rng=SeededRandom(seed, name="deployment"))
         if not cooperative_attacker_side:
             self.deployment.set_cooperative("source_gw", False)
         self.victim_agent = self.deployment.host_agent("victim")
@@ -149,6 +153,7 @@ class AttackerGatewayResourceScenario:
         config: Optional[AITFConfig] = None,
         request_rate: float = 1.0,
         filter_timeout: float = 60.0,
+        seed: int = 0,
     ) -> None:
         self.config = config or AITFConfig(
             filter_timeout=filter_timeout,
@@ -160,7 +165,9 @@ class AttackerGatewayResourceScenario:
         self.request_rate = request_rate
         self.dumbbell: Dumbbell = build_dumbbell(sources=1)
         self.sim = self.dumbbell.sim
-        self.deployment: AITFDeployment = deploy_aitf(self.dumbbell.all_nodes(), self.config)
+        self.deployment: AITFDeployment = deploy_aitf(
+            self.dumbbell.all_nodes(), self.config,
+            rng=SeededRandom(seed, name="deployment"))
         self.victim_agent = self.deployment.host_agent("victim")
         self.attacker_host = self.dumbbell.sources[0]
         self.attacker_agent = self.deployment.host_agent(self.attacker_host.name)

@@ -10,9 +10,22 @@ adding a new traffic source does not perturb the draws seen by existing ones.
 from __future__ import annotations
 
 import random
-from typing import Optional, Sequence, TypeVar
+import zlib
+from typing import Any, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
+
+
+def stable_seed(*parts: Any) -> int:
+    """A positive seed derived from ``parts``, stable across processes.
+
+    Built on CRC-32 of the parts' reprs rather than Python's ``hash()``,
+    which is randomised per process for strings (PYTHONHASHSEED): the same
+    component name must produce the same stream in a sweep worker, in a
+    fresh interpreter, and on a different machine, or runs are not
+    reproducible from their seeds.
+    """
+    return zlib.crc32("\x1f".join(repr(p) for p in parts).encode("utf-8")) & 0x7FFFFFFF
 
 
 class SeededRandom:
@@ -38,11 +51,12 @@ class SeededRandom:
         """Create an independent child stream.
 
         The child's seed is derived from the parent's seed, the child's
-        name, and the fork order, so forks are stable across runs as long as
-        the creation order is stable.
+        name, and the fork order (via :func:`stable_seed`, so forks are
+        stable across runs *and* across processes as long as the creation
+        order is stable).
         """
         self._children += 1
-        child_seed = hash((self._seed, name, self._children)) & 0x7FFFFFFF
+        child_seed = stable_seed(self._seed, name, self._children)
         return SeededRandom(child_seed, name=f"{self._name}/{name}")
 
     # ------------------------------------------------------------------

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.net.packet import Packet
-from repro.sim.randomness import SeededRandom
+from repro.sim.randomness import SeededRandom, stable_seed
 from repro.traceback.base import AttackPath, TracebackMechanism
 
 
@@ -53,7 +53,8 @@ class MarkingRouterExtension:
             raise ValueError(f"marking probability must be in (0, 1], got {probability}")
         self.router_name = router_name
         self.probability = probability
-        self._rng = rng or SeededRandom(hash(router_name) & 0x7FFFFFFF, name=router_name)
+        self._rng = rng or SeededRandom(stable_seed("edge-marking", router_name),
+                                        name=router_name)
         self.packets_marked = 0
 
     def __call__(self, packet: Packet, link) -> None:

@@ -155,3 +155,61 @@ class TestReport:
         table = ResultTable("t", ["a", "b"])
         with pytest.raises(ValueError):
             table.add_row("only-one")
+
+
+class TestResultSerializer:
+    """The shared serializer every output path uses (CLI --json, sweeps)."""
+
+    def test_nested_dataclasses_optionals_and_enums(self):
+        import dataclasses
+        import enum
+        import json
+        from typing import Optional
+
+        from repro.analysis.report import result_to_dict
+
+        class Kind(enum.Enum):
+            FAST = "fast"
+
+        @dataclasses.dataclass
+        class Inner:
+            value: Optional[float]
+            kind: Kind
+
+        @dataclasses.dataclass
+        class Outer:
+            name: str
+            inner: Inner
+            items: tuple
+            table: dict
+
+        data = result_to_dict(Outer(
+            name="x",
+            inner=Inner(value=None, kind=Kind.FAST),
+            items=(1, Inner(value=2.5, kind=Kind.FAST)),
+            table={"a": None, 3: Kind.FAST},
+        ))
+        assert data == {
+            "name": "x",
+            "inner": {"value": None, "kind": "fast"},
+            "items": [1, {"value": 2.5, "kind": "fast"}],
+            "table": {"a": None, "3": "fast"},
+        }
+        json.dumps(data)  # fully JSON-native
+
+    def test_non_json_values_fall_back_to_str(self):
+        from repro.analysis.report import result_to_dict
+
+        assert result_to_dict({"z": 1 + 2j}) == {"z": "(1+2j)"}
+        # Dataclass-shaped values (IPAddress, FlowLabel) serialize structurally.
+        from repro.net.address import IPAddress
+
+        data = result_to_dict({"addr": IPAddress.parse("10.0.0.1")})
+        assert data["addr"] == {"value": IPAddress.parse("10.0.0.1").value}
+
+    def test_experiment_result_serializes_through_shared_path(self):
+        from repro.analysis.report import result_to_dict
+        from repro.experiments import ExperimentRunner, default_flood_spec
+
+        result = ExperimentRunner().run(default_flood_spec(duration=1.5))
+        assert result.to_dict() == result_to_dict(result)

@@ -96,6 +96,118 @@ class TestResourcesCommand:
         assert "Victim-gateway resources" in out
 
 
+class TestRunCommand:
+    def test_default_spec_table_output(self, capsys):
+        code = main(["run", "--duration", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Experiment: flood-defense [aitf]" in out
+        assert "effective-bandwidth ratio" in out
+
+    @pytest.mark.parametrize("defense", ["aitf", "pushback", "ingress-dpf",
+                                         "manual", "none"])
+    def test_every_defense_backend_runs_from_the_cli(self, capsys, defense):
+        code = main(["--json", "run", "--defense", defense, "--duration", "2"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["defense"] == defense
+        assert payload["schema"] == "experiment_result/v1"
+        assert payload["defense_stats"]["backend"] == defense
+
+    def test_spec_file_plus_set_overrides(self, capsys, tmp_path):
+        from repro.experiments import default_flood_spec
+
+        path = tmp_path / "spec.json"
+        default_flood_spec(duration=2.0).save(str(path))
+        code = main(["--json", "run", "--spec", str(path),
+                     "--set", "workloads.1.params.rate_pps=800",
+                     "--defense", "none"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["defense"] == "none"
+        assert payload["spec"]["workloads"][1]["params"]["rate_pps"] == 800
+
+    def test_seed_flag_changes_the_recorded_seed(self, capsys):
+        code = main(["--json", "run", "--duration", "2", "--seed", "99"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["seed"] == 99
+        assert payload["spec"]["seed"] == 99
+
+    @pytest.mark.parametrize("topology", ["figure1", "dumbbell", "tree"])
+    def test_topology_flag_runs_every_registered_topology(self, capsys, topology):
+        code = main(["--json", "run", "--topology", topology, "--duration", "2"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["topology"] == topology
+        assert payload["defense"] == "aitf"
+        assert payload["attack_received_bps"] >= 0.0
+
+
+class TestCompareCommand:
+    def test_compare_three_backends_table(self, capsys):
+        code = main(["compare", "--defenses", "aitf,pushback,none",
+                     "--duration", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Defense comparison" in out
+        for name in ("aitf", "pushback", "none"):
+            assert name in out
+
+    def test_compare_json_is_one_result_per_backend(self, capsys):
+        code = main(["--json", "compare", "--defenses", "aitf,none",
+                     "--duration", "2", "--seed", "4"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert [r["defense"] for r in payload] == ["aitf", "none"]
+        # Paired comparison: every backend sees the same seed.
+        assert {r["seed"] for r in payload} == {4}
+
+    def test_unknown_defense_fails_fast(self, capsys):
+        with pytest.raises(ValueError, match="unknown defense backend"):
+            main(["compare", "--defenses", "aitf,nope", "--duration", "2"])
+
+
+class TestSweepCommand:
+    def test_sweep_requires_a_param(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--duration", "1"])
+
+    def test_sweep_writes_versioned_document(self, capsys, tmp_path):
+        target = tmp_path / "sweep.json"
+        code = main(["sweep", "--param", "defense.backend=aitf,none",
+                     "--duration", "1.5", "--output", str(target)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Sweep: 2 cells" in out
+        doc = json.loads(target.read_text())
+        assert doc["schema"] == "experiment_sweep/v1"
+        assert len(doc["cells"]) == 2
+        assert doc["grid"] == {"defense.backend": ["aitf", "none"]}
+
+    def test_sweep_json_output_with_workers(self, capsys):
+        code = main(["--json", "sweep", "--param", "duration=1,2",
+                     "--workers", "2"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert [c["result"]["duration"] for c in payload["cells"]] == [1.0, 2.0]
+
+
+class TestSeedFlagOnClassicCommands:
+    def test_flood_seed_round_trips(self, capsys):
+        code = main(["--json", "flood", "--duration", "2", "--seed", "5"])
+        assert code == 0
+        json.loads(capsys.readouterr().out)  # parses
+
+    def test_onoff_and_resources_accept_seed(self):
+        args = build_parser().parse_args(["onoff", "--seed", "3"])
+        assert args.seed == 3
+        args = build_parser().parse_args(["resources", "--seed", "3"])
+        assert args.seed == 3
+        args = build_parser().parse_args(["bench", "--seed", "3"])
+        assert args.seed == 3
+
+
 class TestBenchCommand:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["bench"])

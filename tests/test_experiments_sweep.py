@@ -1,0 +1,90 @@
+"""Tests for the sweep runner: expansion, parallel determinism, output."""
+
+import json
+
+import pytest
+
+from repro.experiments import SweepRunner, default_flood_spec
+
+
+def small_grid():
+    return {
+        "defense.backend": ["aitf", "none"],
+        "workloads.1.params.rate_pps": [1200.0, 2400.0],
+    }
+
+
+def normalized(doc):
+    """The sweep document minus fields allowed to vary (worker count)."""
+    data = dict(doc)
+    data.pop("workers")
+    return data
+
+
+class TestSweepExecution:
+    def test_grid_produces_one_cell_per_combination(self):
+        sweep = SweepRunner(workers=1).run_grid(
+            default_flood_spec(duration=2.0), small_grid())
+        assert len(sweep.cells) == 4
+        assert [c["index"] for c in sweep.cells] == [0, 1, 2, 3]
+        backends = [c["result"]["defense"] for c in sweep.cells]
+        assert backends == ["aitf", "aitf", "none", "none"]
+
+    def test_cells_record_overrides_seed_and_result_schema(self):
+        sweep = SweepRunner(workers=1).run_grid(
+            default_flood_spec(duration=2.0),
+            {"defense.backend": ["aitf"]})
+        cell = sweep.cells[0]
+        assert cell["overrides"] == {"defense.backend": "aitf"}
+        assert cell["result"]["schema"] == "experiment_result/v1"
+        assert cell["result"]["seed"] == cell["seed"]
+        assert sweep.to_dict()["schema"] == "experiment_sweep/v1"
+
+    def test_parallel_and_serial_sweeps_are_identical(self):
+        base = default_flood_spec(duration=2.0)
+        serial = SweepRunner(workers=1).run_grid(base, small_grid())
+        parallel = SweepRunner(workers=2).run_grid(base, small_grid())
+        assert normalized(serial.to_dict()) == normalized(parallel.to_dict())
+
+    def test_sweep_repeats_identically(self):
+        base = default_flood_spec(duration=2.0)
+        grid = {"defense.backend": ["aitf", "pushback"]}
+        first = SweepRunner(workers=1).run_grid(base, grid)
+        second = SweepRunner(workers=1).run_grid(base, grid)
+        assert first.to_dict() == second.to_dict()
+
+    def test_written_document_round_trips(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        sweep = SweepRunner(workers=1).run_grid(
+            default_flood_spec(duration=2.0), {"duration": [1.5]})
+        sweep.write(str(path))
+        doc = json.loads(path.read_text())
+        assert doc == json.loads(sweep.to_json())
+        assert doc["grid"] == {"duration": [1.5]}
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            SweepRunner(workers=0)
+
+
+class TestSweepSeeds:
+    def test_cells_get_distinct_derived_seeds_by_default(self):
+        sweep = SweepRunner(workers=1).run_grid(
+            default_flood_spec(duration=1.5, seed=7),
+            {"defense.backend": ["aitf", "none"]})
+        seeds = [c["seed"] for c in sweep.cells]
+        assert len(set(seeds)) == 2
+        assert all(s != 7 for s in seeds)
+
+    def test_reseed_false_pairs_cells_on_the_base_seed(self):
+        sweep = SweepRunner(workers=1).run_grid(
+            default_flood_spec(duration=1.5, seed=7),
+            {"defense.backend": ["aitf", "none"]}, reseed=False)
+        assert [c["seed"] for c in sweep.cells] == [7, 7]
+
+    def test_an_explicit_seed_axis_is_honoured_not_reseeded(self):
+        from repro.experiments import expand_grid
+
+        cells = expand_grid(default_flood_spec(seed=7), {"seed": [1, 2]})
+        assert [c.spec.seed for c in cells] == [1, 2]
+        assert [c.overrides for c in cells] == [{"seed": 1}, {"seed": 2}]
