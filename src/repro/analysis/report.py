@@ -115,6 +115,30 @@ class ResultTable:
         print()
         print(self.render())
 
+    def render_markdown(self) -> str:
+        """The table as GitHub-flavoured markdown (``repro report`` output)."""
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join(" --- " for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(cell.replace("|", "\\|")
+                                           for cell in row) + " |")
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"*{note}*")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """The table as CSV text (header row first)."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
 
 def comparison_row(label: str, paper_value: Any, measured_value: Any,
                    *, tolerance_note: str = "") -> List[str]:

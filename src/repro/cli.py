@@ -10,6 +10,9 @@ the unified experiment API (:mod:`repro.experiments`)::
     python -m repro sweep    --param defense.backend=aitf,pushback \
                              --param workloads.1.params.rate_pps=1500,3000 \
                              --workers 4 --output sweep.json
+    python -m repro sweep    --param duration=2,4 --cluster /shared/q --resume
+    python -m repro worker   --cluster /shared/q
+    python -m repro report   sweep.json --output report.md --csv cells.csv
 
 and keeps the original scenario families as thin shims over the same API::
 
@@ -27,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional
 
@@ -45,6 +49,7 @@ from repro.experiments import (
     ExperimentSpec,
     SweepRunner,
     default_flood_spec,
+    provenance_sidecar_path,
 )
 from repro.scenarios.flood_defense import FloodDefenseScenario
 from repro.scenarios.onoff import OnOffScenario
@@ -167,7 +172,9 @@ def run_compare(args: argparse.Namespace) -> int:
 
 
 def run_sweep(args: argparse.Namespace) -> int:
-    """``repro sweep``: expand a parameter grid and run cells in parallel."""
+    """``repro sweep``: expand a parameter grid and run cells in parallel —
+    on a local process pool, or distributed over a shared ``--cluster``
+    directory (see :mod:`repro.cluster`)."""
     if not args.param:
         raise SystemExit(
             "repro sweep needs at least one --param PATH=V1,V2,... "
@@ -178,18 +185,59 @@ def run_sweep(args: argparse.Namespace) -> int:
         if not values:
             raise SystemExit(f"--param {path} has no values")
         grid[path] = values
+    if not args.cluster:
+        for flag, present in (("--resume", args.resume),
+                              ("--enqueue-only", args.enqueue_only)):
+            if present:
+                raise SystemExit(
+                    f"{flag} only makes sense with --cluster DIR "
+                    "(a local sweep has no queue to resume or fill)")
+    elif args.workers != 1:
+        raise SystemExit(
+            "--workers does not apply with --cluster: parallelism comes "
+            "from running `repro worker --cluster DIR` processes")
     base = _base_spec(args)
-    sweep = SweepRunner(workers=args.workers).run_grid(
-        base, grid, reseed=not args.no_reseed)
+    if args.cluster:
+        from repro.cluster import ClusterError, SweepCoordinator
+
+        # Operator mistakes (reused dir without --resume, changed grid on
+        # resume, timeout) are CLI errors, not tracebacks.
+        try:
+            coordinator = SweepCoordinator(args.cluster,
+                                           lease_seconds=args.lease)
+            manifest = coordinator.submit(base, grid,
+                                          reseed=not args.no_reseed,
+                                          resume=args.resume)
+            if args.enqueue_only:
+                pending, leased, done = coordinator.queue.counts()
+                summary = {"cells": len(manifest), "pending": pending,
+                           "leased": leased, "done": done,
+                           "cluster": args.cluster}
+                if args.json:
+                    print(json.dumps(summary, indent=2, sort_keys=True))
+                else:
+                    print(f"enqueued sweep: {len(manifest)} cells in "
+                          f"{args.cluster} ({done} already done, {pending} pending);"
+                          f" start workers with: repro worker --cluster {args.cluster}")
+                return 0
+            sweep = coordinator.execute(timeout=args.timeout)
+        except ClusterError as exc:
+            raise SystemExit(f"repro sweep: {exc}") from exc
+        mode_note = f"cluster {args.cluster}"
+    else:
+        sweep = SweepRunner(workers=args.workers).run_grid(
+            base, grid, reseed=not args.no_reseed)
+        mode_note = f"{args.workers} workers"
     doc = sweep.to_dict()
     if args.output:
         sweep.write(args.output)
+        sweep.write_provenance(provenance_sidecar_path(args.output))
     if args.json:
         print(json.dumps(doc, indent=2, sort_keys=True))
         return 0
     axes = list(grid)
     table = ResultTable(
-        f"Sweep: {len(sweep.cells)} cells x {args.workers} workers",
+        f"Sweep: {len(sweep.cells)} cells x {mode_note}",
         [*axes, "seed", "ratio", "legit goodput", "first block"],
     )
     for cell in sweep.cells:
@@ -202,9 +250,70 @@ def run_sweep(args: argparse.Namespace) -> int:
             format_bps(result["legit_goodput_bps"]),
             format_seconds(ttb) if ttb is not None else "never",
         )
+    cache = sweep.provenance.get("cache")
+    if cache:
+        table.add_note(f"cell cache: {cache['hits']} hits, "
+                       f"{cache['misses']} misses")
     if args.output:
-        table.add_note(f"full results written to {args.output}")
+        table.add_note(f"full results written to {args.output} "
+                       f"(provenance: {provenance_sidecar_path(args.output)})")
     table.print()
+    return 0
+
+
+def run_worker(args: argparse.Namespace) -> int:
+    """``repro worker``: execute sweep cells from a shared cluster directory
+    until the run completes (any number of these can share one directory,
+    across processes or machines)."""
+    from repro.cluster import ClusterWorker
+
+    worker = ClusterWorker(args.cluster, worker_id=args.worker_id or None,
+                           lease_seconds=args.lease,
+                           poll_interval=args.poll)
+    stats = worker.run(max_cells=args.max_cells,
+                       idle_timeout=args.idle_timeout)
+    if args.json:
+        print(json.dumps(stats.to_dict(), indent=2, sort_keys=True))
+        return 0
+    table = ResultTable(f"Worker {stats.worker_id}", ["metric", "value"])
+    table.add_row("cells executed", stats.executed)
+    table.add_row("cache hits", stats.cache_hits)
+    table.add_row("stale leases requeued", stats.requeued)
+    table.add_row("wall clock", format_seconds(stats.wall_seconds))
+    table.add_row("stopped because", stats.stop_reason)
+    table.print()
+    return 0
+
+
+def run_report(args: argparse.Namespace) -> int:
+    """``repro report``: render a sweep/compare/result JSON document into
+    paper-style markdown and CSV tables."""
+    from repro.analysis.sweep_report import (
+        load_document,
+        render_csv,
+        render_markdown,
+    )
+
+    doc = load_document(args.input)
+    provenance = None
+    sidecar = provenance_sidecar_path(args.input)
+    if os.path.exists(sidecar):
+        with open(sidecar) as handle:
+            provenance = json.load(handle)
+    markdown = render_markdown(doc, source=args.input, provenance=provenance)
+    written = []
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(markdown)
+        written.append(args.output)
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(render_csv(doc))
+        written.append(args.csv)
+    if written:
+        print(f"wrote {', '.join(written)}")
+    else:
+        print(markdown, end="")
     return 0
 
 
@@ -290,9 +399,13 @@ def run_resources(args: argparse.Namespace) -> int:
 
 
 def run_bench(args: argparse.Namespace) -> int:
-    """Engine throughput benchmarks; optionally writes BENCH_engine.json."""
+    """Engine throughput benchmarks; optionally writes BENCH_engine.json.
+    ``--suite sweep`` benchmarks sweep execution (cells/sec, serial vs
+    parallel vs cluster) and writes BENCH_sweep.json instead."""
     from repro.perf.bench import BENCH_NAMES, calibrate, run_benches, write_bench_json
 
+    if args.suite == "sweep":
+        return _run_sweep_bench(args)
     names = BENCH_NAMES if args.scenario == "all" else (args.scenario,)
     calibration = calibrate()
     overrides = {} if args.seed is None else {"seed": args.seed}
@@ -325,6 +438,28 @@ def run_bench(args: argparse.Namespace) -> int:
     table.print()
     print(f"calibration: {calibration:,.0f} ops/s"
           + (f"; wrote {args.output}" if args.output else ""))
+    return 0
+
+
+def _run_sweep_bench(args: argparse.Namespace) -> int:
+    """The ``repro bench --suite sweep`` path: cells/sec across modes."""
+    from repro.perf.bench import run_sweep_bench_suite, write_sweep_bench_json
+
+    doc = run_sweep_bench_suite(repeats=args.repeats,
+                                seed=args.seed if args.seed is not None else 0)
+    if args.output:
+        write_sweep_bench_json(args.output, doc)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    table = ResultTable("Sweep benchmarks",
+                        ["case", "cells", "wall s", "cells/s", "cache hits"])
+    for name, case in doc["cases"].items():
+        table.add_row(name, case["cells"], f"{case['wall_seconds']:.3f}",
+                      f"{case['cells_per_sec']:.2f}", case["cache_hits"])
+    table.print()
+    if args.output:
+        print(f"wrote {args.output}")
     return 0
 
 
@@ -394,7 +529,51 @@ def build_parser() -> argparse.ArgumentParser:
                             "deriving per-cell seeds")
     sweep.add_argument("--seed", type=int, default=None,
                        help="base seed the per-cell seeds derive from")
+    sweep.add_argument("--cluster", default="", metavar="DIR",
+                       help="distribute cells over this shared queue "
+                            "directory instead of a local process pool")
+    sweep.add_argument("--resume", action="store_true",
+                       help="continue a previously submitted cluster sweep "
+                            "(crash-safe: finished cells are not recomputed)")
+    sweep.add_argument("--enqueue-only", action="store_true",
+                       help="submit the cells and exit; workers drain the "
+                            "queue, a later --resume merges the output")
+    sweep.add_argument("--lease", type=float, default=30.0,
+                       help="cluster lease seconds before a dead worker's "
+                            "cell is requeued")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="give up if the cluster run is not complete "
+                            "after this many seconds")
     sweep.set_defaults(func=run_sweep)
+
+    worker = subparsers.add_parser(
+        "worker", help="execute sweep cells from a shared cluster directory")
+    worker.add_argument("--cluster", required=True, metavar="DIR",
+                        help="the queue directory a coordinator submits to")
+    worker.add_argument("--max-cells", type=int, default=None,
+                        help="exit after processing this many cells")
+    worker.add_argument("--lease", type=float, default=30.0,
+                        help="lease seconds; heartbeats refresh it while a "
+                             "cell executes")
+    worker.add_argument("--poll", type=float, default=0.2,
+                        help="seconds between queue polls when idle")
+    worker.add_argument("--idle-timeout", type=float, default=120.0,
+                        help="exit after this long with nothing to do")
+    worker.add_argument("--worker-id", default="",
+                        help="stable identity for leases and provenance "
+                             "(default: host:pid)")
+    worker.set_defaults(func=run_worker)
+
+    report = subparsers.add_parser(
+        "report", help="render sweep/compare JSON into markdown + CSV tables")
+    report.add_argument("input", help="an experiment_sweep/v1, "
+                                      "experiment_result/v1, or compare JSON file")
+    report.add_argument("--output", default="",
+                        help="write the markdown report here "
+                             "(default: print to stdout)")
+    report.add_argument("--csv", default="",
+                        help="also write a flat CSV of the cells here")
+    report.set_defaults(func=run_report)
 
     flood = subparsers.add_parser("flood", help="one flood against the Figure-1 victim")
     flood.add_argument("--duration", type=float, default=10.0)
@@ -429,9 +608,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = subparsers.add_parser(
         "bench", help="engine throughput benchmarks (see PERFORMANCE.md)")
+    bench.add_argument("--suite", default="engine",
+                       choices=("engine", "sweep"),
+                       help="engine: packet throughput (BENCH_engine.json); "
+                            "sweep: cells/sec across execution modes "
+                            "(BENCH_sweep.json)")
     bench.add_argument("--scenario", default="all",
                        choices=("all", "flood", "flood_heavy", "scaling"),
-                       help="which benchmark to run")
+                       help="which benchmark to run (engine suite)")
     bench.add_argument("--repeats", type=int, default=3,
                        help="runs per benchmark; the fastest is reported")
     bench.add_argument("--output", default="",

@@ -1,0 +1,53 @@
+"""Distributed sweep execution over a shared directory.
+
+``repro sweep`` on one process pool stops scaling at one machine, and a
+crash throws away every completed cell.  This package turns a sweep into a
+coordinator/worker system with nothing but a directory any participant can
+reach (local disk for multi-process runs, NFS or a mounted volume for
+multi-machine ones):
+
+- :class:`FileQueue` — a durable work queue of sweep cells.  Claiming is an
+  atomic ``rename`` (exactly one winner per task, no locks, no daemons),
+  workers heartbeat leases, and anyone may requeue a lease whose holder died.
+- :class:`CellCache` — content-addressed results keyed by the SHA-256 of
+  each cell's canonical spec (:func:`repro.experiments.spec.spec_hash`).
+  Re-running a sweep skips every already-computed cell; editing one axis
+  only recomputes the cells it touches.
+- :class:`RunManifest` — the durable record of what the sweep *is* (base
+  spec, grid, every expanded cell), written once so a resumed run cannot
+  drift from the original.
+- :class:`ClusterWorker` — the ``repro worker`` daemon loop: claim, execute,
+  cache, complete, until the run finishes.
+- :class:`SweepCoordinator` — expands the grid, enqueues cache-missing
+  cells, optionally works alongside the workers, and merges the finished
+  run into an ``experiment_sweep/v1`` document **byte-identical** to a
+  serial ``repro sweep`` — regardless of worker count, execution order, or
+  mid-run crashes (``--resume`` picks up exactly where the queue left off).
+
+Quickstart (three shells, one shared directory)::
+
+    repro sweep --param defense.backend=aitf,pushback \
+                --cluster /shared/q --enqueue-only        # shell 1
+    repro worker --cluster /shared/q                      # shell 2
+    repro worker --cluster /shared/q                      # shell 3
+    repro sweep --param defense.backend=aitf,pushback \
+                --cluster /shared/q --resume --output sweep.json   # shell 1
+"""
+
+from repro.cluster.cache import CellCache
+from repro.cluster.coordinator import ClusterError, SweepCoordinator
+from repro.cluster.fsqueue import FileQueue, Task
+from repro.cluster.manifest import MANIFEST_SCHEMA, RunManifest
+from repro.cluster.worker import ClusterWorker, WorkerStats
+
+__all__ = [
+    "CellCache",
+    "ClusterError",
+    "ClusterWorker",
+    "FileQueue",
+    "MANIFEST_SCHEMA",
+    "RunManifest",
+    "SweepCoordinator",
+    "Task",
+    "WorkerStats",
+]

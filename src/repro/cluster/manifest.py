@@ -1,0 +1,134 @@
+"""The durable record of what a cluster sweep *is*.
+
+``run.json`` in the cluster directory pins the sweep's identity: the base
+spec, the grid, the reseed policy, and every expanded cell (index,
+overrides, seed, concrete spec, content hash).  It is written once when the
+sweep is submitted; workers read it to know when the run is complete, and
+``--resume`` validates against it so a coordinator restarted with a
+*different* grid fails loudly instead of silently merging two different
+experiments into one document.
+
+The manifest deliberately stores the fully expanded cells rather than
+re-deriving them on resume: a resumed run must finish exactly the cells the
+original run started, even if the expansion code changes between versions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.cluster.fsqueue import Task, read_json, write_json_atomic
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.sweep import SweepCell, expand_grid
+
+#: Version tag written into run manifests.
+MANIFEST_SCHEMA = "sweep_run/v1"
+
+
+@dataclass
+class RunManifest:
+    """The submitted sweep: base spec, grid, and every expanded cell."""
+
+    base_spec: Dict[str, Any]
+    grid: Dict[str, List[Any]]
+    reseed: bool
+    cells: List[Dict[str, Any]] = field(default_factory=list)
+    schema: str = MANIFEST_SCHEMA
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, base: ExperimentSpec, grid: Mapping[str, Sequence[Any]],
+              *, reseed: bool = True) -> "RunManifest":
+        """Expand ``grid`` over ``base`` into a manifest (pure; shares
+        :func:`repro.experiments.sweep.expand_grid` with the local path)."""
+        cells = expand_grid(base, grid, reseed=reseed)
+        return cls(
+            base_spec=base.to_dict(),
+            grid={key: list(values) for key, values in grid.items()},
+            reseed=reseed,
+            cells=[{
+                "index": cell.index,
+                "name": cell_name(cell.index),
+                "overrides": dict(cell.overrides),
+                "seed": cell.spec.seed,
+                "spec": cell.spec.to_dict(),
+                "spec_hash": cell.spec_hash,
+            } for cell in cells],
+        )
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "base_spec": self.base_spec,
+            "grid": self.grid,
+            "reseed": self.reseed,
+            "cells": self.cells,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunManifest":
+        schema = data.get("schema", MANIFEST_SCHEMA)
+        if schema != MANIFEST_SCHEMA:
+            raise ValueError(
+                f"unsupported run manifest schema {schema!r} "
+                f"(this build reads {MANIFEST_SCHEMA!r})")
+        return cls(base_spec=dict(data["base_spec"]),
+                   grid={k: list(v) for k, v in data["grid"].items()},
+                   reseed=bool(data.get("reseed", True)),
+                   cells=[dict(cell) for cell in data["cells"]])
+
+    @classmethod
+    def path_in(cls, cluster_dir: str) -> str:
+        return os.path.join(cluster_dir, "run.json")
+
+    @classmethod
+    def load(cls, cluster_dir: str) -> Optional["RunManifest"]:
+        """The manifest in ``cluster_dir``, or ``None`` if none was
+        submitted yet (workers poll on this)."""
+        data = read_json(cls.path_in(cluster_dir))
+        return None if data is None else cls.from_dict(data)
+
+    def save(self, cluster_dir: str, tmp_dir: str) -> None:
+        write_json_atomic(self.path_in(cluster_dir), self.to_dict(), tmp_dir)
+
+    # ------------------------------------------------------------------
+    # identity and tasks
+    # ------------------------------------------------------------------
+    def identity_json(self) -> str:
+        """Canonical text of what makes two submissions the same sweep."""
+        return json.dumps(
+            {"base_spec": self.base_spec, "grid": self.grid, "reseed": self.reseed},
+            sort_keys=True, separators=(",", ":"))
+
+    def matches(self, other: "RunManifest") -> bool:
+        """Whether ``other`` describes the same sweep (resume validation)."""
+        return self.identity_json() == other.identity_json()
+
+    def tasks(self) -> List[Task]:
+        """One queue task per cell, in grid order."""
+        return [Task(name=cell["name"], index=cell["index"],
+                     overrides=dict(cell["overrides"]), seed=cell["seed"],
+                     spec=dict(cell["spec"]), spec_hash=cell["spec_hash"])
+                for cell in self.cells]
+
+    def sweep_cells(self) -> List[SweepCell]:
+        """The cells as :class:`SweepCell` objects (for the shared merge)."""
+        return [SweepCell(index=cell["index"], overrides=dict(cell["overrides"]),
+                          spec=ExperimentSpec.from_dict(cell["spec"]))
+                for cell in self.cells]
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+
+def cell_name(index: int) -> str:
+    """Queue task name for cell ``index`` (zero-padded so listings sort)."""
+    return f"{index:05d}"

@@ -1,0 +1,167 @@
+"""The ``repro worker`` daemon loop.
+
+A worker is pointed at a cluster directory and needs nothing else: it polls
+for the run manifest, claims pending cells one atomic rename at a time,
+executes each through the same :func:`repro.experiments.sweep.execute_cell`
+the serial path uses, publishes the result to the content-addressed cache,
+and marks the task done.  While a cell is executing, a background thread
+heartbeats the task's lease so a slow cell is never mistaken for a dead
+worker; when a worker *does* die, its lease goes stale and any other
+participant requeues the cell.
+
+Workers exit on their own when the run is complete (every manifest cell is
+done), after ``max_cells``, or after ``idle_timeout`` seconds with nothing
+to do — so a fleet of ``repro worker &`` processes drains a queue and goes
+away without supervision.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.cluster.cache import CellCache
+from repro.cluster.fsqueue import FileQueue, Task
+from repro.cluster.manifest import RunManifest
+from repro.experiments.sweep import execute_cell
+
+
+def default_worker_id() -> str:
+    """``host:pid`` — unique enough to audit who computed which cell."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+@dataclass
+class WorkerStats:
+    """What one worker did, for its exit report and the provenance trail."""
+
+    worker_id: str
+    executed: int = 0
+    cache_hits: int = 0
+    requeued: int = 0
+    wall_seconds: float = 0.0
+    stop_reason: str = ""
+    cells: list = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "worker_id": self.worker_id,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "requeued": self.requeued,
+            "wall_seconds": self.wall_seconds,
+            "stop_reason": self.stop_reason,
+            "cells": list(self.cells),
+        }
+
+
+class ClusterWorker:
+    """Claim-and-execute loop over a shared cluster directory."""
+
+    def __init__(self, cluster_dir: str, *, worker_id: Optional[str] = None,
+                 lease_seconds: float = 30.0, poll_interval: float = 0.2,
+                 heartbeat_interval: Optional[float] = None) -> None:
+        if lease_seconds <= 0:
+            raise ValueError("lease_seconds must be positive")
+        self.cluster_dir = cluster_dir
+        self.worker_id = worker_id or default_worker_id()
+        self.lease_seconds = lease_seconds
+        self.poll_interval = poll_interval
+        # Refresh well inside the lease so one missed beat cannot expire it.
+        self.heartbeat_interval = (heartbeat_interval if heartbeat_interval is not None
+                                   else max(0.05, lease_seconds / 4.0))
+        self.queue = FileQueue(cluster_dir)
+        self.cache = CellCache(os.path.join(cluster_dir, "cache"))
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, *, max_cells: Optional[int] = None,
+            idle_timeout: Optional[float] = 120.0) -> WorkerStats:
+        """Work until the run completes, ``max_cells`` is reached, or the
+        queue stays idle for ``idle_timeout`` seconds (``None`` = forever)."""
+        stats = WorkerStats(worker_id=self.worker_id)
+        start = time.perf_counter()
+        last_activity = time.monotonic()
+        manifest: Optional[RunManifest] = None
+        next_requeue_scan = 0.0  # first pass always scans
+        while True:
+            # Leases cannot go stale faster than they were granted, so a
+            # full leases/ scan every lease_seconds/2 recovers dead workers
+            # just as fast as scanning every loop — at a fraction of the
+            # I/O on a shared (often network) filesystem.
+            if time.monotonic() >= next_requeue_scan:
+                stats.requeued += len(self.queue.requeue_stale())
+                next_requeue_scan = time.monotonic() + max(
+                    self.poll_interval, self.lease_seconds / 2.0)
+            task = self.queue.claim(self.worker_id, self.lease_seconds)
+            if task is not None:
+                self.process(task, stats)
+                last_activity = time.monotonic()
+                if max_cells is not None and stats.executed + stats.cache_hits >= max_cells:
+                    stats.stop_reason = "max_cells"
+                    break
+                continue
+            # The manifest is written once per run and never changes, so it
+            # is only (re)read on idle passes until it appears — not once
+            # per claimed cell (a big grid makes run.json big).
+            if manifest is None:
+                manifest = RunManifest.load(self.cluster_dir)
+            if manifest is not None and self._run_complete(manifest):
+                stats.stop_reason = "run_complete"
+                break
+            if (idle_timeout is not None
+                    and time.monotonic() - last_activity > idle_timeout):
+                stats.stop_reason = "idle_timeout"
+                break
+            time.sleep(self.poll_interval)
+        stats.wall_seconds = time.perf_counter() - start
+        return stats
+
+    def process(self, task: Task, stats: WorkerStats) -> None:
+        """Execute one claimed task (or satisfy it from the cache)."""
+        if task.spec_hash in self.cache:
+            # Another worker (or a previous run) already computed this cell.
+            self.queue.complete(task.name, self.worker_id)
+            stats.cache_hits += 1
+            stats.cells.append({"name": task.name, "spec_hash": task.spec_hash,
+                                "cached": True})
+            return
+        stop_beat = threading.Event()
+        beater = threading.Thread(target=self._heartbeat_loop,
+                                  args=(task.name, stop_beat), daemon=True)
+        beater.start()
+        try:
+            cell_start = time.perf_counter()
+            result = execute_cell(task.spec)
+            wall = time.perf_counter() - cell_start
+        except Exception:
+            # Put the cell back for someone else before propagating: a bad
+            # cell crashes this worker, not the whole run's bookkeeping.
+            stop_beat.set()
+            beater.join()
+            self.queue.release(task.name, self.worker_id)
+            raise
+        stop_beat.set()
+        beater.join()
+        self.cache.put(task.spec_hash, result, worker=self.worker_id,
+                       wall_seconds=wall)
+        self.queue.complete(task.name, self.worker_id)
+        stats.executed += 1
+        stats.cells.append({"name": task.name, "spec_hash": task.spec_hash,
+                            "cached": False, "wall_seconds": wall})
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _heartbeat_loop(self, name: str, stop: threading.Event) -> None:
+        while not stop.wait(self.heartbeat_interval):
+            self.queue.heartbeat(name, self.worker_id, self.lease_seconds)
+
+    def _run_complete(self, manifest: RunManifest) -> bool:
+        pending, leased, done = self.queue.counts()
+        return pending == 0 and leased == 0 and done >= len(manifest)

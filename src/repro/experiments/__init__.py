@@ -43,15 +43,22 @@ from repro.experiments.spec import (
     TopologySpec,
     WorkloadSpec,
     apply_override,
+    canonical_spec_json,
     default_flood_spec,
+    spec_hash,
 )
 from repro.experiments.sweep import (
+    PROVENANCE_SCHEMA,
     SWEEP_SCHEMA,
     SweepCell,
     SweepResult,
     SweepRunner,
+    cell_document,
     derive_cell_seed,
+    execute_cell,
     expand_grid,
+    merge_cell_documents,
+    provenance_sidecar_path,
 )
 from repro.experiments.topologies import TopologyHandle, build_topology
 from repro.experiments.workloads import WorkloadHandle, build_workload
@@ -60,6 +67,13 @@ __all__ = [
     "SPEC_SCHEMA",
     "RESULT_SCHEMA",
     "SWEEP_SCHEMA",
+    "PROVENANCE_SCHEMA",
+    "canonical_spec_json",
+    "spec_hash",
+    "cell_document",
+    "execute_cell",
+    "merge_cell_documents",
+    "provenance_sidecar_path",
     "Registry",
     "TOPOLOGIES",
     "DEFENSES",

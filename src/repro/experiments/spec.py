@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import copy
 import dataclasses
+import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 #: Version tag written into serialized specs; bump on incompatible change.
 SPEC_SCHEMA = "experiment_spec/v1"
@@ -257,6 +258,36 @@ def _reject_unknown_keys(data: Mapping[str, Any], known: set, where: str) -> Non
     if unknown:
         raise ValueError(f"unknown {where} spec key(s): {', '.join(unknown)} "
                          f"(known: {', '.join(sorted(known))})")
+
+
+# ----------------------------------------------------------------------
+# canonical form and content hashing
+# ----------------------------------------------------------------------
+def canonical_spec_json(spec: Union["ExperimentSpec", Mapping[str, Any]]) -> str:
+    """The spec's canonical JSON text: one byte sequence per semantic spec.
+
+    The spec (object or dict) is first round-tripped through
+    :meth:`ExperimentSpec.from_dict`, which normalises field types the way
+    the runner will see them (``duration`` to float, ``seed`` to int,
+    defaults filled in, unknown keys rejected), then dumped with sorted keys
+    and fixed separators.  Two dicts that describe the same experiment —
+    whatever their key order, which process wrote them, or whether optional
+    fields were spelled out — canonicalise to the same text.
+    """
+    if not isinstance(spec, ExperimentSpec):
+        spec = ExperimentSpec.from_dict(spec)
+    return json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def spec_hash(spec: Union["ExperimentSpec", Mapping[str, Any]]) -> str:
+    """SHA-256 hex digest of the canonical spec JSON.
+
+    This is the content address of a sweep cell: the cluster result cache
+    is keyed by it, so a cell re-runs only when something that actually
+    reaches the runner changed.  Stable across key order, worker processes
+    and ``PYTHONHASHSEED``.
+    """
+    return hashlib.sha256(canonical_spec_json(spec).encode("utf-8")).hexdigest()
 
 
 # ----------------------------------------------------------------------

@@ -11,6 +11,14 @@ process pool.  Cells are independent simulations, specs cross the process
 boundary as JSON-able dicts, and results are reassembled in cell order — so
 the output document is byte-identical whatever the worker count, which the
 determinism tests pin.
+
+The cell-level building blocks — :func:`execute_cell`, :func:`cell_document`
+and :func:`merge_cell_documents` — are pure functions shared with the
+distributed path (:mod:`repro.cluster`): a coordinator/worker sweep over a
+shared queue directory assembles its merged document through exactly the
+same code, which is what makes cluster output byte-identical to a serial
+run.  Everything execution-dependent (worker count, cache hits, wall-clock)
+lives in a separate *provenance* record, never in the document itself.
 """
 
 from __future__ import annotations
@@ -19,14 +27,18 @@ import concurrent.futures
 import hashlib
 import itertools
 import json
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments.runner import ExperimentRunner
-from repro.experiments.spec import ExperimentSpec
+from repro.experiments.spec import ExperimentSpec, spec_hash
 
 #: Version tag written into serialized sweep documents.
 SWEEP_SCHEMA = "experiment_sweep/v1"
+
+#: Version tag written into sweep provenance sidecar documents.
+PROVENANCE_SCHEMA = "sweep_provenance/v1"
 
 
 def derive_cell_seed(base_seed: int, overrides: Mapping[str, Any]) -> int:
@@ -51,6 +63,11 @@ class SweepCell:
     index: int
     overrides: Dict[str, Any]
     spec: ExperimentSpec
+
+    @property
+    def spec_hash(self) -> str:
+        """Content address of this cell (see :func:`repro.experiments.spec.spec_hash`)."""
+        return spec_hash(self.spec)
 
 
 def expand_grid(base: ExperimentSpec, grid: Mapping[str, Sequence[Any]],
@@ -81,23 +98,75 @@ def expand_grid(base: ExperimentSpec, grid: Mapping[str, Sequence[Any]],
     return cells
 
 
+def execute_cell(spec_data: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one cell from its dict form (module-level so it pickles).
+
+    This is *the* cell executor: the local process pool, the cluster worker
+    daemon and the coordinator's inline execution all call it, so a cell
+    computes the same result dict wherever it lands.
+    """
+    spec = ExperimentSpec.from_dict(spec_data)
+    return ExperimentRunner().run(spec).to_dict()
+
+
+def _execute_cell_timed(spec_data: Dict[str, Any]) -> Tuple[Dict[str, Any], float]:
+    """``execute_cell`` plus the wall-clock it took (for provenance)."""
+    start = time.perf_counter()
+    result = execute_cell(spec_data)
+    return result, time.perf_counter() - start
+
+
+def cell_document(index: int, overrides: Mapping[str, Any], seed: int,
+                  result: Dict[str, Any]) -> Dict[str, Any]:
+    """The per-cell entry of an ``experiment_sweep/v1`` document."""
+    return {
+        "index": index,
+        "overrides": dict(overrides),
+        "seed": seed,
+        "result": result,
+    }
+
+
+def merge_cell_documents(cells: Sequence[SweepCell],
+                         results: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Assemble per-cell documents in grid order.
+
+    ``results`` must align with ``cells``; how they were computed (serial,
+    process pool, cluster cache) is irrelevant — this is the single merge
+    path, so every execution mode emits the same document.
+    """
+    if len(cells) != len(results):
+        raise ValueError(
+            f"{len(cells)} cells but {len(results)} results to merge")
+    return [cell_document(cell.index, cell.overrides, cell.spec.seed, result)
+            for cell, result in zip(cells, results)]
+
+
 @dataclass
 class SweepResult:
-    """Every cell's result, in grid order, plus the provenance to rerun it."""
+    """Every cell's result, in grid order, plus the provenance to rerun it.
+
+    ``to_dict`` / ``to_json`` / ``write`` emit the *canonical* sweep
+    document: only fields every execution mode agrees on, so a serial run,
+    a process-pool run and a resumed multi-machine cluster run of the same
+    grid produce byte-identical files.  Worker counts, cache hit/miss
+    statistics and per-cell wall-clock are auditable but execution-dependent,
+    so they ride in ``provenance`` and are written to a separate sidecar
+    (:meth:`write_provenance`), never into the document.
+    """
 
     base_spec: Dict[str, Any]
     grid: Dict[str, List[Any]]
-    workers: int
     cells: List[Dict[str, Any]] = field(default_factory=list)
+    provenance: Dict[str, Any] = field(default_factory=dict)
     schema: str = SWEEP_SCHEMA
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-serializable document."""
+        """The canonical, execution-independent sweep document."""
         return {
             "schema": self.schema,
             "base_spec": self.base_spec,
             "grid": self.grid,
-            "workers": self.workers,
             "cells": self.cells,
         }
 
@@ -106,16 +175,28 @@ class SweepResult:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def write(self, path: str) -> None:
-        """Write the sweep document to a JSON file."""
+        """Write the canonical sweep document to a JSON file."""
         with open(path, "w") as handle:
             handle.write(self.to_json())
             handle.write("\n")
 
+    def provenance_dict(self) -> Dict[str, Any]:
+        """The provenance record (schema-tagged, JSON-serializable)."""
+        return {"schema": PROVENANCE_SCHEMA, **self.provenance}
 
-def _execute_cell(spec_data: Dict[str, Any]) -> Dict[str, Any]:
-    """Run one cell from its dict form (module-level so it pickles)."""
-    spec = ExperimentSpec.from_dict(spec_data)
-    return ExperimentRunner().run(spec).to_dict()
+    def write_provenance(self, path: str) -> None:
+        """Write the provenance sidecar to a JSON file."""
+        with open(path, "w") as handle:
+            json.dump(self.provenance_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def provenance_sidecar_path(output_path: str) -> str:
+    """Where the provenance sidecar for ``output_path`` lives
+    (``sweep.json`` -> ``sweep.provenance.json``)."""
+    if output_path.endswith(".json"):
+        return output_path[:-len(".json")] + ".provenance.json"
+    return output_path + ".provenance.json"
 
 
 class SweepRunner:
@@ -125,6 +206,10 @@ class SweepRunner:
     ``concurrent.futures.ProcessPoolExecutor``; if the platform cannot spawn
     worker processes the runner degrades to serial execution rather than
     failing the sweep.  Results are identical either way.
+
+    For fan-out beyond one machine — or crash-safe, cache-accelerated
+    re-runs — see :class:`repro.cluster.SweepCoordinator`, which shares this
+    class's expansion and merge code.
     """
 
     def __init__(self, workers: int = 1) -> None:
@@ -144,30 +229,39 @@ class SweepRunner:
                   grid: Optional[Dict[str, List[Any]]] = None) -> SweepResult:
         """Run pre-expanded cells; results come back in cell order."""
         spec_dicts = [cell.spec.to_dict() for cell in cells]
-        results = self._execute_all(spec_dicts)
-        documents = [
-            {
-                "index": cell.index,
-                "overrides": dict(cell.overrides),
-                "seed": cell.spec.seed,
-                "result": result,
-            }
-            for cell, result in zip(cells, results)
-        ]
+        start = time.perf_counter()
+        timed = self._execute_all(spec_dicts)
+        wall = time.perf_counter() - start
+        results = [result for result, _ in timed]
+        base_spec = base_spec or {}
         return SweepResult(
-            base_spec=base_spec or {},
+            base_spec=base_spec,
             grid=grid or {},
-            workers=self.workers,
-            cells=documents,
+            cells=merge_cell_documents(cells, results),
+            provenance={
+                "mode": "local",
+                "workers": self.workers,
+                "root_seed": base_spec.get("seed"),
+                "cache": {"hits": 0, "misses": len(cells)},
+                "wall_seconds": wall,
+                "cells": [
+                    {"index": cell.index, "spec_hash": cell.spec_hash,
+                     "seed": cell.spec.seed, "wall_seconds": cell_wall,
+                     "cached": False}
+                    for cell, (_, cell_wall) in zip(cells, timed)
+                ],
+            },
         )
 
-    def _execute_all(self, spec_dicts: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    def _execute_all(
+            self, spec_dicts: List[Dict[str, Any]]
+    ) -> List[Tuple[Dict[str, Any], float]]:
         if self.workers <= 1 or len(spec_dicts) <= 1:
-            return [_execute_cell(d) for d in spec_dicts]
+            return [_execute_cell_timed(d) for d in spec_dicts]
         try:
             with concurrent.futures.ProcessPoolExecutor(
                     max_workers=min(self.workers, len(spec_dicts))) as pool:
-                return list(pool.map(_execute_cell, spec_dicts))
+                return list(pool.map(_execute_cell_timed, spec_dicts))
         except (OSError, PermissionError, concurrent.futures.process.BrokenProcessPool):
             # Sandboxes without fork/spawn still get a correct (serial) sweep.
-            return [_execute_cell(d) for d in spec_dicts]
+            return [_execute_cell_timed(d) for d in spec_dicts]

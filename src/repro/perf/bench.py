@@ -235,6 +235,100 @@ def run_benches(names: Optional[Iterable[str]] = None,
             for name in (names or BENCH_NAMES)]
 
 
+# ----------------------------------------------------------------------
+# sweep execution benchmarks (cells/sec across execution modes)
+# ----------------------------------------------------------------------
+#: Schema tag written to BENCH_sweep.json.
+SWEEP_BENCH_SCHEMA = "bench_sweep/v1"
+
+
+def _sweep_bench_inputs(seed: int):
+    """The fixed grid the sweep benchmarks run: 6 short cells."""
+    from repro.experiments import default_flood_spec
+
+    base = default_flood_spec(duration=1.0, seed=seed)
+    grid = {
+        "defense.backend": ["aitf", "pushback", "none"],
+        "workloads.1.params.rate_pps": [1500.0, 3000.0],
+    }
+    return base, grid
+
+
+def run_sweep_bench_suite(repeats: int = 1, seed: int = 0,
+                          parallel_workers: int = 2) -> Dict:
+    """Benchmark sweep execution modes on one fixed 6-cell grid.
+
+    Cases: ``serial`` (one process), ``parallel`` (local process pool),
+    ``cluster_cold`` (coordinator working a fresh queue directory alone)
+    and ``cluster_warm`` (the same directory again — every cell a cache
+    hit, measuring pure queue + merge overhead).  Each case reports
+    cells/sec; the warm case is the headline number for resumed and
+    re-rendered sweeps.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.cluster import SweepCoordinator
+    from repro.experiments import SweepRunner
+
+    base, grid = _sweep_bench_inputs(seed)
+    cases: Dict[str, Dict] = {}
+
+    def record(name: str, runner) -> None:
+        best: Optional[float] = None
+        hits = 0
+        cells = 0
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            sweep = runner()
+            wall = time.perf_counter() - start
+            cells = len(sweep.cells)
+            hits = sweep.provenance.get("cache", {}).get("hits", 0)
+            best = wall if best is None else min(best, wall)
+        assert best is not None
+        cases[name] = {
+            "cells": cells,
+            "wall_seconds": best,
+            "cells_per_sec": cells / best if best > 0 else 0.0,
+            "cache_hits": hits,
+        }
+
+    record("serial", lambda: SweepRunner(workers=1).run_grid(base, grid))
+    record("parallel",
+           lambda: SweepRunner(workers=parallel_workers).run_grid(base, grid))
+    tmp = tempfile.mkdtemp(prefix="repro-bench-cluster-")
+    try:
+        cold_dirs = iter(os.path.join(tmp, f"cold{i}")
+                         for i in range(max(1, repeats)))
+        record("cluster_cold",
+               lambda: SweepCoordinator(next(cold_dirs)).run_grid(base, grid))
+        warm_dir = os.path.join(tmp, "warm")
+        SweepCoordinator(warm_dir).run_grid(base, grid)  # populate the cache
+        record("cluster_warm",
+               lambda: SweepCoordinator(warm_dir).run_grid(base, grid,
+                                                           resume=True))
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return {
+        "schema": SWEEP_BENCH_SCHEMA,
+        "python": platform.python_version(),
+        "seed": seed,
+        "grid": {k: list(v) for k, v in grid.items()},
+        "parallel_workers": parallel_workers,
+        "cases": cases,
+    }
+
+
+def write_sweep_bench_json(path: str, doc: Dict) -> Dict:
+    """Write ``BENCH_sweep.json`` (the document from
+    :func:`run_sweep_bench_suite`); returns it for reuse."""
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return doc
+
+
 def write_bench_json(path: str, results: Iterable[BenchResult],
                      calibration: Optional[float] = None) -> Dict:
     """Write ``BENCH_engine.json``: current numbers plus the seed baseline.

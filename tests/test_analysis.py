@@ -213,3 +213,119 @@ class TestResultSerializer:
 
         result = ExperimentRunner().run(default_flood_spec(duration=1.5))
         assert result.to_dict() == result_to_dict(result)
+
+
+class TestResultSerializerEdgeCases:
+    """The corners the sweep/cluster paths depend on: whatever lands in a
+    result must come out JSON-native and deterministic."""
+
+    def test_enum_nested_inside_tuple_inside_dict(self):
+        import enum
+        import json
+
+        from repro.analysis.report import result_to_dict
+
+        class Phase(enum.Enum):
+            ARM = ("arm", 1)
+
+        data = result_to_dict({"phases": ({"p": Phase.ARM}, [Phase.ARM])})
+        assert data == {"phases": [{"p": ["arm", 1]}, [["arm", 1]]]}
+        json.dumps(data)
+
+    def test_int_enum_collapses_to_its_value(self):
+        import enum
+
+        from repro.analysis.report import result_to_dict
+
+        class Level(enum.IntEnum):
+            HIGH = 3
+
+        assert result_to_dict({"level": Level.HIGH}) == {"level": 3}
+
+    def test_tuple_keys_and_enum_keys_become_strings(self):
+        import enum
+        import json
+
+        from repro.analysis.report import result_to_dict
+
+        class Kind(enum.Enum):
+            A = "a"
+
+        data = result_to_dict({(1, 2): "pair", Kind.A: "enum-key", 7: "int"})
+        assert data == {"(1, 2)": "pair", "Kind.A": "enum-key", "7": "int"}
+        json.dumps(data)
+
+    def test_non_serializable_objects_fall_back_to_str(self):
+        import json
+
+        from repro.analysis.report import result_to_dict
+
+        class Opaque:
+            def __str__(self):
+                return "<opaque>"
+
+        data = result_to_dict({"obj": Opaque(), "objs": [Opaque(), {1, 2}],
+                               "raw": b"bytes"})
+        assert data["obj"] == "<opaque>"
+        assert data["objs"][0] == "<opaque>"
+        assert isinstance(data["objs"][1], str)  # sets stringify
+        assert data["raw"] == str(b"bytes")
+        json.dumps(data)
+
+    def test_dataclass_with_tuple_of_tuples(self):
+        import dataclasses
+        import json
+
+        from repro.analysis.report import result_to_dict
+
+        @dataclasses.dataclass
+        class Grid:
+            points: tuple
+
+        data = result_to_dict(Grid(points=((1, 2), (3, 4))))
+        assert data == {"points": [[1, 2], [3, 4]]}
+        json.dumps(data)
+
+    def test_bools_survive_and_do_not_become_ints(self):
+        from repro.analysis.report import result_to_dict
+
+        data = result_to_dict({"flag": True, "off": False})
+        assert data["flag"] is True and data["off"] is False
+
+    def test_dataclass_class_object_is_not_unpacked(self):
+        import dataclasses
+
+        from repro.analysis.report import result_to_dict
+
+        @dataclasses.dataclass
+        class Marker:
+            x: int = 0
+
+        # The *class* (not an instance) must hit the str fallback.
+        assert isinstance(result_to_dict({"cls": Marker})["cls"], str)
+
+
+class TestResultTableRenderers:
+    def make_table(self):
+        table = ResultTable("Sweep cells", ["axis", "value"])
+        table.add_row("aitf", 0.069)
+        table.add_row("with|pipe", "a,b")
+        table.add_note("grouped by defense")
+        return table
+
+    def test_markdown_rendering(self):
+        text = self.make_table().render_markdown()
+        assert text.startswith("### Sweep cells")
+        assert "| axis | value |" in text
+        assert "| --- | --- |" in text
+        assert "with\\|pipe" in text  # pipes escaped inside cells
+        assert "*grouped by defense*" in text
+
+    def test_csv_rendering_quotes_and_headers(self):
+        import csv
+        import io
+
+        text = self.make_table().to_csv()
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["axis", "value"]
+        assert rows[2] == ["with|pipe", "a,b"]  # comma survived quoting

@@ -232,3 +232,97 @@ class TestBenchCommand:
         assert payload["schema"] == "bench_engine/v1"
         assert "flood_heavy" in payload["benches"]
         assert json.loads(target.read_text()) == payload
+
+
+class TestClusterSweepCommand:
+    def grid_args(self):
+        return ["--param", "defense.backend=aitf,none", "--duration", "1.5"]
+
+    def test_enqueue_only_then_resume_merges_byte_identical(self, capsys, tmp_path):
+        serial_path = tmp_path / "serial.json"
+        code = main(["sweep", *self.grid_args(),
+                     "--output", str(serial_path)])
+        assert code == 0
+        cluster = tmp_path / "queue"
+        code = main(["sweep", *self.grid_args(), "--cluster", str(cluster),
+                     "--enqueue-only"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "enqueued sweep: 2 cells" in out
+        merged_path = tmp_path / "merged.json"
+        code = main(["sweep", *self.grid_args(), "--cluster", str(cluster),
+                     "--resume", "--output", str(merged_path)])
+        assert code == 0
+        assert merged_path.read_bytes() == serial_path.read_bytes()
+        sidecar = json.loads((tmp_path / "merged.provenance.json").read_text())
+        assert sidecar["schema"] == "sweep_provenance/v1"
+        assert sidecar["mode"] == "cluster"
+
+    def test_rerunning_without_resume_fails_loudly(self, capsys, tmp_path):
+        cluster = tmp_path / "queue"
+        assert main(["sweep", *self.grid_args(),
+                     "--cluster", str(cluster)]) == 0
+        capsys.readouterr()
+        # A clean CLI error (SystemExit with the hint), not a traceback.
+        with pytest.raises(SystemExit, match="--resume"):
+            main(["sweep", *self.grid_args(), "--cluster", str(cluster)])
+
+    def test_worker_parser_defaults(self):
+        args = build_parser().parse_args(["worker", "--cluster", "/q"])
+        assert args.cluster == "/q"
+        assert args.lease == 30.0
+        assert args.max_cells is None
+
+    def test_worker_drains_a_submitted_queue(self, capsys, tmp_path):
+        cluster = tmp_path / "queue"
+        assert main(["sweep", *self.grid_args(), "--cluster", str(cluster),
+                     "--enqueue-only"]) == 0
+        capsys.readouterr()
+        code = main(["--json", "worker", "--cluster", str(cluster),
+                     "--idle-timeout", "10"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["executed"] == 2
+        assert payload["stop_reason"] == "run_complete"
+
+    def test_cluster_only_flags_rejected_without_cluster(self):
+        for flag in ("--resume", "--enqueue-only"):
+            with pytest.raises(SystemExit, match="--cluster"):
+                main(["sweep", "--param", "duration=1", flag])
+
+    def test_workers_flag_rejected_with_cluster(self, tmp_path):
+        with pytest.raises(SystemExit, match="repro worker"):
+            main(["sweep", "--param", "duration=1", "--workers", "4",
+                  "--cluster", str(tmp_path / "q")])
+
+
+class TestReportCommand:
+    def test_report_renders_sweep_markdown_and_csv(self, capsys, tmp_path):
+        sweep_path = tmp_path / "sweep.json"
+        assert main(["sweep", "--param", "defense.backend=aitf,none",
+                     "--duration", "1.5", "--output", str(sweep_path)]) == 0
+        capsys.readouterr()
+        code = main(["report", str(sweep_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("# repro report — sweep")
+        assert "## Provenance" in out  # sidecar picked up automatically
+        md_path, csv_path = tmp_path / "r.md", tmp_path / "r.csv"
+        code = main(["report", str(sweep_path), "--output", str(md_path),
+                     "--csv", str(csv_path)])
+        assert code == 0
+        assert "defense.backend" in md_path.read_text()
+        assert csv_path.read_text().startswith("index,defense.backend,")
+
+    def test_report_rejects_non_experiment_json(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"hello": 1}')
+        with pytest.raises(ValueError, match="unrecognised"):
+            main(["report", str(bogus)])
+
+
+class TestSweepBenchCommand:
+    def test_parser_suite_flag(self):
+        args = build_parser().parse_args(["bench", "--suite", "sweep"])
+        assert args.suite == "sweep"
+        assert build_parser().parse_args(["bench"]).suite == "engine"

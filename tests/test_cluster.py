@@ -1,0 +1,342 @@
+"""Tests for the distributed sweep layer: queue, cache, worker, coordinator.
+
+The headline guarantees under test:
+
+- claiming a task is atomic (one winner, however many claimants),
+- a dead worker's lease goes stale and its cell is requeued,
+- the coordinator's merged document is byte-identical to a serial
+  ``SweepRunner`` run, whatever the execution history (fresh, crashed and
+  resumed, or fully cached),
+- a second identical submission is 100% cache hits and touches no simulator.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.cluster import (
+    CellCache,
+    ClusterError,
+    ClusterWorker,
+    FileQueue,
+    RunManifest,
+    SweepCoordinator,
+    Task,
+)
+from repro.cluster.manifest import cell_name
+from repro.experiments import SweepRunner, default_flood_spec, spec_hash
+
+
+def tiny_grid():
+    return {"defense.backend": ["aitf", "none"]}
+
+
+def make_task(index=0, seed=1):
+    spec = default_flood_spec(duration=1.0, seed=seed)
+    return Task(name=cell_name(index), index=index, overrides={},
+                seed=seed, spec=spec.to_dict(), spec_hash=spec_hash(spec))
+
+
+class TestFileQueue:
+    def test_put_claim_complete_lifecycle(self, tmp_path):
+        queue = FileQueue(str(tmp_path))
+        assert queue.put(make_task())
+        assert queue.counts() == (1, 0, 0)
+        task = queue.claim("w1", lease_seconds=30.0)
+        assert task is not None and task.name == "00000"
+        assert queue.counts() == (0, 1, 0)
+        assert queue.complete(task.name)
+        assert queue.counts() == (0, 0, 1)
+
+    def test_put_is_idempotent_across_states(self, tmp_path):
+        queue = FileQueue(str(tmp_path))
+        task = make_task()
+        assert queue.put(task)
+        assert not queue.put(task)  # already pending
+        queue.claim("w1", 30.0)
+        assert not queue.put(task)  # leased
+        queue.complete(task.name)
+        assert not queue.put(task)  # done
+
+    def test_exactly_one_claimant_wins_each_task(self, tmp_path):
+        queue = FileQueue(str(tmp_path))
+        for index in range(8):
+            queue.put(make_task(index, seed=index))
+        claimed = []
+        lock = threading.Lock()
+
+        def grab(worker_id):
+            local = FileQueue(str(tmp_path))
+            while True:
+                task = local.claim(worker_id, 30.0)
+                if task is None:
+                    return
+                with lock:
+                    claimed.append(task.name)
+
+        threads = [threading.Thread(target=grab, args=(f"w{i}",)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(claimed) == [cell_name(i) for i in range(8)]
+        assert len(set(claimed)) == 8  # no double-claims
+        assert queue.counts() == (0, 8, 0)
+
+    def test_stale_lease_is_requeued_live_lease_is_not(self, tmp_path):
+        queue = FileQueue(str(tmp_path))
+        queue.put(make_task(0, seed=0))
+        queue.put(make_task(1, seed=1))
+        first = queue.claim("dead-worker", lease_seconds=0.0)   # expires now
+        second = queue.claim("live-worker", lease_seconds=60.0)
+        requeued = queue.requeue_stale()
+        assert requeued == [first.name]
+        assert queue.state_of(first.name) == "pending"
+        assert queue.state_of(second.name) == "leased"
+
+    def test_heartbeat_keeps_a_lease_alive(self, tmp_path):
+        queue = FileQueue(str(tmp_path))
+        queue.put(make_task())
+        task = queue.claim("w1", lease_seconds=0.0)
+        queue.heartbeat(task.name, "w1", lease_seconds=60.0)
+        assert queue.requeue_stale() == []
+
+    def test_complete_tolerates_a_requeued_task(self, tmp_path):
+        queue = FileQueue(str(tmp_path))
+        queue.put(make_task())
+        task = queue.claim("w1", lease_seconds=0.0)
+        queue.requeue_stale()  # yanked away from w1 mid-execution
+        assert not queue.complete(task.name)
+        assert queue.state_of(task.name) == "pending"
+
+    def test_release_returns_a_task_to_pending(self, tmp_path):
+        queue = FileQueue(str(tmp_path))
+        queue.put(make_task())
+        task = queue.claim("w1", 30.0)
+        queue.release(task.name)
+        assert queue.counts() == (1, 0, 0)
+
+    def test_owner_scoped_lease_drop_spares_a_reclaimants_lease(self, tmp_path):
+        # A worker whose lease expired mid-cell finishes late, after someone
+        # else re-claimed the task: its owner-scoped drop must leave the
+        # re-claimant's live lease alone (else the task looks abandoned
+        # again and gets executed a third time).
+        queue = FileQueue(str(tmp_path))
+        queue.put(make_task())
+        task = queue.claim("fast-worker", lease_seconds=60.0)
+        queue._drop_lease(task.name, "slow-worker")   # the late straggler
+        assert os.path.exists(queue._lease_path(task.name))
+        queue._drop_lease(task.name, "fast-worker")   # the actual owner
+        assert not os.path.exists(queue._lease_path(task.name))
+
+    def test_done_tasks_orphan_leases_are_swept(self, tmp_path):
+        queue = FileQueue(str(tmp_path))
+        queue.put(make_task())
+        task = queue.claim("w1", 60.0)
+        queue.complete(task.name, "w1")
+        # A straggler's heartbeat lands after completion (lost claim race).
+        queue.heartbeat(task.name, "w2", 60.0)
+        queue.requeue_stale()
+        assert not os.path.exists(queue._lease_path(task.name))
+        assert queue.state_of(task.name) == "done"
+
+
+class TestCellCache:
+    def test_roundtrip_and_membership(self, tmp_path):
+        cache = CellCache(str(tmp_path))
+        key = spec_hash(default_flood_spec(duration=1.0))
+        assert key not in cache
+        assert cache.get_result(key) is None
+        cache.put(key, {"metric": 1.5}, worker="w1", wall_seconds=0.2)
+        assert key in cache
+        assert cache.get_result(key) == {"metric": 1.5}
+        entry = cache.get(key)
+        assert entry["worker"] == "w1"
+        assert entry["spec_hash"] == key
+        assert cache.keys() == [key]
+
+    def test_put_is_idempotent_last_writer_wins(self, tmp_path):
+        cache = CellCache(str(tmp_path))
+        cache.put("ab" * 32, {"v": 1})
+        cache.put("ab" * 32, {"v": 1}, worker="other")
+        assert cache.get_result("ab" * 32) == {"v": 1}
+        assert len(cache.keys()) == 1
+
+    def test_entries_fan_out_by_hash_prefix(self, tmp_path):
+        cache = CellCache(str(tmp_path))
+        key = "cd" + "0" * 62
+        cache.put(key, {})
+        assert os.path.exists(tmp_path / "cd" / f"{key}.json")
+
+    def test_entries_from_other_code_versions_are_misses(self, tmp_path):
+        # A cached result computed by a different build of the simulator
+        # must not replay: it could differ from what the current code (and
+        # hence a fresh serial run) would produce.
+        cache = CellCache(str(tmp_path))
+        key = "ab" * 32
+        cache.put(key, {"v": 1})
+        path = cache.path_for(key)
+        entry = json.loads(open(path).read())
+        assert entry["code"]  # stamped with the running fingerprint
+        entry["code"] = "0" * 64  # ...now pretend an older build wrote it
+        with open(path, "w") as handle:
+            json.dump(entry, handle)
+        assert key not in cache
+        assert cache.get(key) is None and cache.get_result(key) is None
+        cache.put(key, {"v": 2})  # recomputation overwrites the stale entry
+        assert cache.get_result(key) == {"v": 2}
+
+    def test_code_fingerprint_is_stable_within_a_build(self):
+        from repro.cluster.cache import code_fingerprint
+
+        first = code_fingerprint()
+        assert first == code_fingerprint()
+        assert len(first) == 64
+
+
+class TestRunManifest:
+    def test_build_save_load_roundtrip(self, tmp_path):
+        queue = FileQueue(str(tmp_path))
+        manifest = RunManifest.build(default_flood_spec(duration=1.0), tiny_grid())
+        manifest.save(str(tmp_path), queue.tmp_dir)
+        loaded = RunManifest.load(str(tmp_path))
+        assert loaded.to_dict() == manifest.to_dict()
+        assert loaded.matches(manifest)
+        assert len(loaded) == 2
+
+    def test_load_returns_none_before_submit(self, tmp_path):
+        assert RunManifest.load(str(tmp_path)) is None
+
+    def test_identity_distinguishes_different_sweeps(self):
+        base = default_flood_spec(duration=1.0)
+        a = RunManifest.build(base, tiny_grid())
+        b = RunManifest.build(base, {"defense.backend": ["aitf", "pushback"]})
+        c = RunManifest.build(base, tiny_grid(), reseed=False)
+        assert not a.matches(b)
+        assert not a.matches(c)
+
+    def test_tasks_carry_cell_content_hashes(self):
+        manifest = RunManifest.build(default_flood_spec(duration=1.0), tiny_grid())
+        tasks = manifest.tasks()
+        assert [t.name for t in tasks] == ["00000", "00001"]
+        for task, cell in zip(tasks, manifest.sweep_cells()):
+            assert task.spec_hash == cell.spec_hash == spec_hash(cell.spec)
+
+
+class TestWorkerAndCoordinator:
+    def test_worker_drains_a_submitted_run(self, tmp_path):
+        base = default_flood_spec(duration=1.0)
+        coordinator = SweepCoordinator(str(tmp_path))
+        coordinator.submit(base, tiny_grid())
+        worker = ClusterWorker(str(tmp_path), worker_id="w1",
+                               poll_interval=0.01)
+        stats = worker.run(idle_timeout=10.0)
+        assert stats.stop_reason == "run_complete"
+        assert stats.executed == 2
+        assert coordinator.queue.counts() == (0, 0, 2)
+
+    def test_cluster_output_is_byte_identical_to_serial(self, tmp_path):
+        base = default_flood_spec(duration=1.5)
+        grid = {"defense.backend": ["aitf", "none"],
+                "workloads.1.params.rate_pps": [1200.0, 2400.0]}
+        serial = SweepRunner(workers=1).run_grid(base, grid)
+        clustered = SweepCoordinator(str(tmp_path)).run_grid(base, grid)
+        assert clustered.to_json() == serial.to_json()
+
+    def test_second_submission_is_all_cache_hits(self, tmp_path):
+        base = default_flood_spec(duration=1.0)
+        first = SweepCoordinator(str(tmp_path)).run_grid(base, tiny_grid())
+        assert first.provenance["cache"] == {"hits": 0, "misses": 2}
+        second = SweepCoordinator(str(tmp_path)).run_grid(base, tiny_grid(),
+                                                          resume=True)
+        assert second.provenance["cache"] == {"hits": 2, "misses": 0}
+        assert second.to_json() == first.to_json()
+
+    def test_resume_after_partial_run_matches_serial(self, tmp_path):
+        base = default_flood_spec(duration=1.0)
+        grid = {"defense.backend": ["aitf", "pushback", "none"]}
+        serial = SweepRunner(workers=1).run_grid(base, grid)
+        # First coordinator crashes after one cell: simulate by a worker
+        # that only processes one task, with a lease left dangling.
+        coordinator = SweepCoordinator(str(tmp_path), lease_seconds=0.0)
+        coordinator.submit(base, grid)
+        worker = ClusterWorker(str(tmp_path), worker_id="w1",
+                               poll_interval=0.01)
+        worker.run(max_cells=1, idle_timeout=5.0)
+        # A second cell is claimed and abandoned (the "killed worker").
+        abandoned = coordinator.queue.claim("dead", lease_seconds=0.0)
+        assert abandoned is not None
+        # Resume: requeues the stale lease, computes only what is missing.
+        resumed = SweepCoordinator(str(tmp_path)).run_grid(base, grid,
+                                                           resume=True)
+        assert resumed.to_json() == serial.to_json()
+        assert resumed.provenance["cache"]["hits"] == 1
+        assert resumed.provenance["resumed"] is True
+
+    def test_resume_with_a_different_grid_is_rejected(self, tmp_path):
+        base = default_flood_spec(duration=1.0)
+        coordinator = SweepCoordinator(str(tmp_path))
+        coordinator.submit(base, tiny_grid())
+        with pytest.raises(ClusterError, match="different"):
+            SweepCoordinator(str(tmp_path)).submit(
+                base, {"defense.backend": ["aitf", "pushback"]}, resume=True)
+
+    def test_reusing_a_dir_without_resume_is_rejected(self, tmp_path):
+        base = default_flood_spec(duration=1.0)
+        SweepCoordinator(str(tmp_path)).submit(base, tiny_grid())
+        with pytest.raises(ClusterError, match="--resume"):
+            SweepCoordinator(str(tmp_path)).submit(base, tiny_grid())
+
+    def test_merge_before_completion_is_rejected(self, tmp_path):
+        coordinator = SweepCoordinator(str(tmp_path))
+        coordinator.submit(default_flood_spec(duration=1.0), tiny_grid())
+        with pytest.raises(ClusterError, match="no cached result"):
+            coordinator.merge()
+
+    def test_merge_without_a_manifest_is_rejected(self, tmp_path):
+        with pytest.raises(ClusterError, match="run.json"):
+            SweepCoordinator(str(tmp_path)).merge()
+
+    def test_editing_one_axis_only_recomputes_affected_cells(self, tmp_path):
+        base = default_flood_spec(duration=1.0)
+        SweepCoordinator(str(tmp_path / "a")).run_grid(base, tiny_grid())
+        # Same cache, wider grid: the two original cells must be hits.
+        import shutil
+        shutil.copytree(tmp_path / "a" / "cache", tmp_path / "b" / "cache")
+        wider = SweepCoordinator(str(tmp_path / "b")).run_grid(
+            base, {"defense.backend": ["aitf", "none", "pushback"]})
+        assert wider.provenance["cache"] == {"hits": 2, "misses": 1}
+
+    def test_provenance_records_workers_and_per_cell_walls(self, tmp_path):
+        sweep = SweepCoordinator(str(tmp_path), worker_id="host:1").run_grid(
+            default_flood_spec(duration=1.0), tiny_grid())
+        provenance = sweep.provenance_dict()
+        assert provenance["schema"] == "sweep_provenance/v1"
+        assert provenance["mode"] == "cluster"
+        assert provenance["root_seed"] == 0
+        assert provenance["workers"] == ["host:1:coordinator"]
+        assert len(provenance["cells"]) == 2
+        for record in provenance["cells"]:
+            assert record["wall_seconds"] > 0
+            assert record["cached"] is False
+        json.dumps(provenance)  # JSON-serializable throughout
+
+
+class TestSweepBenchSuite:
+    def test_suite_covers_all_modes_and_survives_repeats(self, tmp_path):
+        from repro.perf.bench import run_sweep_bench_suite, write_sweep_bench_json
+
+        doc = run_sweep_bench_suite(repeats=2)
+        assert doc["schema"] == "bench_sweep/v1"
+        assert set(doc["cases"]) == {"serial", "parallel", "cluster_cold",
+                                     "cluster_warm"}
+        for case in doc["cases"].values():
+            assert case["cells"] == 6
+            assert case["cells_per_sec"] > 0
+        assert doc["cases"]["cluster_warm"]["cache_hits"] == 6
+        assert doc["cases"]["serial"]["cache_hits"] == 0
+        path = tmp_path / "BENCH_sweep.json"
+        written = write_sweep_bench_json(str(path), doc)
+        assert json.loads(path.read_text()) == written == doc

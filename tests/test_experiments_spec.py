@@ -164,3 +164,79 @@ class TestGridExpansion:
     def test_empty_axis_rejected(self):
         with pytest.raises(ValueError, match="no values"):
             expand_grid(default_flood_spec(), {"duration": []})
+
+
+class TestCanonicalSpecHash:
+    """Content addressing for the cluster cell cache: the hash must depend
+    on what the experiment *is*, never on how the dict was spelled or
+    which process computed it."""
+
+    def test_hash_is_stable_across_key_order(self):
+        from repro.experiments import spec_hash
+
+        spec = default_flood_spec(defense="pushback", duration=4.0, seed=3)
+        data = spec.to_dict()
+        shuffled = dict(reversed(list(data.items())))
+        shuffled["topology"] = dict(reversed(list(data["topology"].items())))
+        assert spec_hash(spec) == spec_hash(data) == spec_hash(shuffled)
+
+    def test_hash_is_stable_across_json_round_trips(self):
+        from repro.experiments import spec_hash
+
+        spec = default_flood_spec(duration=2.5, seed=11)
+        assert spec_hash(spec) == spec_hash(json.loads(spec.to_json()))
+
+    def test_equivalent_spellings_of_values_canonicalise_together(self):
+        from repro.experiments import spec_hash
+
+        data = default_flood_spec(duration=4.0).to_dict()
+        as_int = dict(data)
+        as_int["duration"] = 4            # int vs float spelling
+        as_int["seed"] = 0
+        assert spec_hash(data) == spec_hash(as_int)
+
+    def test_semantic_changes_change_the_hash(self):
+        from repro.experiments import spec_hash
+
+        base = default_flood_spec(duration=4.0)
+        assert spec_hash(base) != spec_hash(base.with_overrides({"seed": 1}))
+        assert spec_hash(base) != spec_hash(
+            base.with_overrides({"defense.backend": "pushback"}))
+
+    def test_hash_is_stable_across_process_boundaries(self):
+        import os
+        import subprocess
+        import sys
+
+        from repro.experiments import spec_hash
+
+        spec = default_flood_spec(defense="pushback", duration=3.0, seed=42)
+        script = (
+            "import json,sys;"
+            "from repro.experiments import ExperimentSpec, spec_hash;"
+            "print(spec_hash(json.loads(sys.stdin.read())))"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "src"),
+             env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+        # A different hash seed would expose any hash()-dependence.
+        env["PYTHONHASHSEED"] = "12345"
+        output = subprocess.run(
+            [sys.executable, "-c", script], input=spec.to_json(),
+            capture_output=True, text=True, env=env, check=True).stdout.strip()
+        assert output == spec_hash(spec)
+
+    def test_canonical_json_is_minimal_and_sorted(self):
+        from repro.experiments import canonical_spec_json
+
+        text = canonical_spec_json(default_flood_spec(duration=2.0))
+        assert ": " not in text and ", " not in text  # compact separators
+        data = json.loads(text)
+        assert list(data) == sorted(data)
+
+    def test_invalid_spec_dicts_are_rejected_not_hashed(self):
+        from repro.experiments import spec_hash
+
+        with pytest.raises(ValueError, match="unknown experiment spec"):
+            spec_hash({"schema": "experiment_spec/v1", "bogus_key": 1})

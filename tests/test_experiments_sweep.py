@@ -14,13 +14,6 @@ def small_grid():
     }
 
 
-def normalized(doc):
-    """The sweep document minus fields allowed to vary (worker count)."""
-    data = dict(doc)
-    data.pop("workers")
-    return data
-
-
 class TestSweepExecution:
     def test_grid_produces_one_cell_per_combination(self):
         sweep = SweepRunner(workers=1).run_grid(
@@ -44,7 +37,12 @@ class TestSweepExecution:
         base = default_flood_spec(duration=2.0)
         serial = SweepRunner(workers=1).run_grid(base, small_grid())
         parallel = SweepRunner(workers=2).run_grid(base, small_grid())
-        assert normalized(serial.to_dict()) == normalized(parallel.to_dict())
+        # The canonical document is execution-independent, so the comparison
+        # is exact — worker count only appears in the provenance sidecar.
+        assert serial.to_dict() == parallel.to_dict()
+        assert serial.to_json() == parallel.to_json()
+        assert serial.provenance["workers"] == 1
+        assert parallel.provenance["workers"] == 2
 
     def test_sweep_repeats_identically(self):
         base = default_flood_spec(duration=2.0)
@@ -88,3 +86,61 @@ class TestSweepSeeds:
         cells = expand_grid(default_flood_spec(seed=7), {"seed": [1, 2]})
         assert [c.spec.seed for c in cells] == [1, 2]
         assert [c.overrides for c in cells] == [{"seed": 1}, {"seed": 2}]
+
+
+class TestSweepProvenance:
+    def test_local_provenance_records_seed_cache_and_walls(self):
+        sweep = SweepRunner(workers=1).run_grid(
+            default_flood_spec(duration=1.5, seed=7),
+            {"defense.backend": ["aitf", "none"]})
+        provenance = sweep.provenance_dict()
+        assert provenance["schema"] == "sweep_provenance/v1"
+        assert provenance["mode"] == "local"
+        assert provenance["root_seed"] == 7
+        assert provenance["cache"] == {"hits": 0, "misses": 2}
+        assert provenance["wall_seconds"] > 0
+        assert [c["index"] for c in provenance["cells"]] == [0, 1]
+        for record in provenance["cells"]:
+            assert record["wall_seconds"] > 0
+            assert len(record["spec_hash"]) == 64
+        json.dumps(provenance)
+
+    def test_provenance_sidecar_written_next_to_the_document(self, tmp_path):
+        from repro.experiments import provenance_sidecar_path
+
+        assert provenance_sidecar_path("out/sweep.json") == \
+            "out/sweep.provenance.json"
+        assert provenance_sidecar_path("sweep") == "sweep.provenance.json"
+        sweep = SweepRunner(workers=1).run_grid(
+            default_flood_spec(duration=1.5), {"duration": [1.0]})
+        path = tmp_path / "sweep.json"
+        sweep.write(str(path))
+        sweep.write_provenance(provenance_sidecar_path(str(path)))
+        sidecar = json.loads((tmp_path / "sweep.provenance.json").read_text())
+        assert sidecar["schema"] == "sweep_provenance/v1"
+        # ... and the canonical document itself carries no provenance.
+        assert "provenance" not in json.loads(path.read_text())
+        assert "workers" not in json.loads(path.read_text())
+
+
+class TestSharedMergePath:
+    def test_merge_cell_documents_matches_runner_output(self):
+        from repro.experiments import (
+            execute_cell,
+            expand_grid,
+            merge_cell_documents,
+        )
+
+        base = default_flood_spec(duration=1.5)
+        grid = {"defense.backend": ["aitf", "none"]}
+        cells = expand_grid(base, grid)
+        merged = merge_cell_documents(
+            cells, [execute_cell(c.spec.to_dict()) for c in cells])
+        assert merged == SweepRunner(workers=1).run_grid(base, grid).cells
+
+    def test_merge_rejects_misaligned_results(self):
+        from repro.experiments import expand_grid, merge_cell_documents
+
+        cells = expand_grid(default_flood_spec(), {"duration": [1.0, 2.0]})
+        with pytest.raises(ValueError, match="2 cells but 1"):
+            merge_cell_documents(cells, [{}])

@@ -1,0 +1,103 @@
+"""Tests for ``repro report``'s document rendering (markdown + CSV)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.sweep_report import (
+    compare_table,
+    document_kind,
+    render_csv,
+    render_markdown,
+    result_table,
+    sweep_flat_table,
+    sweep_tables,
+)
+from repro.experiments import ExperimentRunner, SweepRunner, default_flood_spec
+
+
+@pytest.fixture(scope="module")
+def sweep_doc():
+    sweep = SweepRunner(workers=1).run_grid(
+        default_flood_spec(duration=1.5),
+        {"defense.backend": ["aitf", "none"],
+         "workloads.1.params.rate_pps": [1200.0, 2400.0]})
+    return json.loads(sweep.to_json())
+
+
+@pytest.fixture(scope="module")
+def result_doc():
+    return ExperimentRunner().run(default_flood_spec(duration=1.5)).to_dict()
+
+
+class TestDocumentKind:
+    def test_recognises_all_three_document_shapes(self, sweep_doc, result_doc):
+        assert document_kind(sweep_doc) == "sweep"
+        assert document_kind(result_doc) == "result"
+        assert document_kind([result_doc, result_doc]) == "compare"
+
+    def test_rejects_unknown_documents(self):
+        with pytest.raises(ValueError, match="unrecognised"):
+            document_kind({"schema": "something/v9"})
+        with pytest.raises(ValueError, match="unrecognised"):
+            document_kind([])
+
+
+class TestSweepTables:
+    def test_grouped_by_leading_axis_rows_over_last(self, sweep_doc):
+        tables = sweep_tables(sweep_doc)
+        assert [t.title for t in tables] == \
+            ["defense.backend = aitf", "defense.backend = none"]
+        for table in tables:
+            assert table.columns[0] == "workloads.1.params.rate_pps"
+            assert [row[0] for row in table.rows] == ["1200.0", "2400.0"]
+
+    def test_single_axis_sweep_makes_one_table(self):
+        sweep = SweepRunner(workers=1).run_grid(
+            default_flood_spec(duration=1.5), {"defense.backend": ["aitf"]})
+        tables = sweep_tables(json.loads(sweep.to_json()))
+        assert len(tables) == 1
+        assert tables[0].title == "sweep"
+        assert tables[0].columns[0] == "defense.backend"
+
+    def test_flat_table_has_one_raw_row_per_cell(self, sweep_doc):
+        table = sweep_flat_table(sweep_doc)
+        assert len(table.rows) == 4
+        assert table.columns[:4] == ["index", "defense.backend",
+                                     "workloads.1.params.rate_pps", "seed"]
+
+
+class TestRenderedOutput:
+    def test_markdown_report_contains_groups_and_summary(self, sweep_doc):
+        text = render_markdown(sweep_doc, source="sweep.json")
+        assert text.startswith("# repro report — sweep")
+        assert "Source: `sweep.json`" in text
+        assert "4 cells over 2 axis(es)" in text
+        assert "### defense.backend = aitf" in text
+        assert "| --- |" in text
+
+    def test_markdown_includes_provenance_when_given(self, sweep_doc):
+        text = render_markdown(sweep_doc, provenance={
+            "mode": "cluster", "root_seed": 0, "workers": ["host:1"],
+            "cache": {"hits": 4, "misses": 0}, "resumed": True,
+            "wall_seconds": 1.25})
+        assert "## Provenance" in text
+        assert "- **cache hits / misses**: 4 / 0" in text
+        assert "- **workers**: host:1" in text
+
+    def test_sweep_csv_parses_and_keeps_raw_values(self, sweep_doc):
+        rows = list(csv.reader(io.StringIO(render_csv(sweep_doc))))
+        assert len(rows) == 5  # header + 4 cells
+        header = rows[0]
+        ratio_column = header.index("effective_bandwidth_ratio")
+        for row in rows[1:]:
+            assert 0.0 <= float(row[ratio_column]) <= 1.0
+
+    def test_compare_and_result_render_too(self, result_doc):
+        table = compare_table([result_doc])
+        assert table.rows[0][0] == "aitf"
+        assert "Experiment:" in result_table(result_doc).title
+        assert render_csv([result_doc]).startswith("defense,")
+        assert render_markdown(result_doc).startswith("# repro report — result")
