@@ -15,7 +15,6 @@ import pytest
 from repro.analysis.formulas import protected_flows
 from repro.analysis.report import ResultTable
 from repro.core.config import AITFConfig
-from repro.core.events import EventType
 from repro.scenarios.resources import VictimGatewayResourceScenario
 
 from benchmarks.conftest import run_once

@@ -76,11 +76,14 @@ def main() -> None:
 
     print("\nAlso shipped: examples/specs/*.json — per-backend flood specs for"
           "\n  repro run --spec examples/specs/flood_pushback.json"
-          "\nand an on/off sweep request (examples/specs/onoff_grid.json):")
+          "\nand the committed paper grids (examples/specs/grids/*.json) for"
+          "\n  repro sweep --request examples/specs/grids/onoff_evasion.json"
+          "\n  repro paper --quick")
     with open(os.path.join(os.path.dirname(__file__),
-                           "specs", "onoff_grid.json")) as handle:
+                           "specs", "grids", "onoff_evasion.json")) as handle:
         request = json.load(handle)
-    print(f"  base spec {request['base_spec']['name']!r}, "
+    print(f"  e.g. {request['name']!r}: base spec "
+          f"{request['base_spec']['name']!r}, "
           f"axes: {', '.join(request['grid'])}")
 
 

@@ -1,10 +1,35 @@
-"""Setup shim.
+"""Packaging for the AITF reproduction.
 
-The project is configured through ``pyproject.toml``; this file exists so
-that ``pip install -e .`` works on environments without the ``wheel``
-package (legacy ``setup.py develop`` editable installs).
+``pip install -e .`` gives the ``repro`` package and its one hard
+dependency (networkx, used by the power-law topology builder).  Extras:
+
+* ``plot`` — matplotlib, for ``repro report --plot`` / ``repro paper
+  --renderer mpl`` (the builtin SVG renderer needs nothing);
+* ``test`` — pytest and pytest-benchmark, what CI installs to run the
+  tier-1 suite and the benchmark harness.
+
+Packaging stays setup.py-only on purpose: a pyproject.toml would switch
+``pip install -e .`` onto the PEP 517 path, which needs the ``wheel``
+package, while plain setup.py keeps the legacy editable install working on
+minimal environments.  Lint configuration (ruff) therefore lives in
+``ruff.toml``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-aitf",
+    version="0.4.0",
+    description=("Reproduction of AITF: Active Internet Traffic Filtering "
+                 "(Argyraki & Cheriton, USENIX 2005)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "networkx",
+    ],
+    extras_require={
+        "plot": ["matplotlib"],
+        "test": ["pytest", "pytest-benchmark"],
+    },
+)

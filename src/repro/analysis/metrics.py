@@ -17,8 +17,7 @@ hosts and routers without changing their behaviour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional
 
 from repro.net.flowlabel import FlowLabel
 from repro.net.packet import Packet

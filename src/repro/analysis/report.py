@@ -13,7 +13,7 @@ import dataclasses
 import enum
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 
 def result_to_dict(result: Any) -> Any:

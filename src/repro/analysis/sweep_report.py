@@ -37,6 +37,24 @@ _METRIC_COLUMNS: Tuple[Tuple[str, str, Any], ...] = (
 )
 
 
+def axis_value(overrides: Dict[str, Any], axis: str, default: Any = None) -> Any:
+    """The value one cell holds on a grid axis.
+
+    Compound axes (comma-joined paths, see
+    :func:`repro.experiments.sweep.axis_paths`) are stored per-path in the
+    cell's overrides; they render as "v1 / v2 / ..." so the table stays one
+    column per axis.
+    """
+    if axis in overrides:
+        return overrides[axis]
+    from repro.experiments.sweep import axis_paths
+
+    paths = axis_paths(axis)
+    if len(paths) > 1 and all(path in overrides for path in paths):
+        return " / ".join(str(overrides[path]) for path in paths)
+    return default
+
+
 def load_document(path: str) -> Any:
     """Read a sweep / compare / result JSON document from disk."""
     with open(path) as handle:
@@ -70,7 +88,7 @@ def sweep_tables(doc: Dict[str, Any]) -> List[ResultTable]:
     titles: Dict[str, str] = {}
     for cell in cells:
         overrides = cell.get("overrides", {})
-        fixed = [(axis, overrides.get(axis)) for axis in group_axes]
+        fixed = [(axis, axis_value(overrides, axis)) for axis in group_axes]
         key = json.dumps(fixed)
         titles.setdefault(key, ", ".join(f"{a} = {v}" for a, v in fixed) or "sweep")
         groups.setdefault(key, []).append(cell)
@@ -84,7 +102,7 @@ def sweep_tables(doc: Dict[str, Any]) -> List[ResultTable]:
             overrides = cell.get("overrides", {})
             result = cell.get("result", {})
             table.add_row(
-                overrides.get(row_label, cell.get("index", "-")),
+                axis_value(overrides, row_label, cell.get("index", "-")),
                 cell.get("seed", "-"),
                 *(fmt(result.get(field)) for _, field, fmt in _METRIC_COLUMNS),
             )
@@ -104,7 +122,7 @@ def sweep_flat_table(doc: Dict[str, Any]) -> ResultTable:
         result = cell.get("result", {})
         table.add_row(
             cell.get("index", ""),
-            *(overrides.get(axis, "") for axis in axes),
+            *(axis_value(overrides, axis, "") for axis in axes),
             cell.get("seed", ""),
             *(result.get(field, "") for _, field, _ in _METRIC_COLUMNS),
         )

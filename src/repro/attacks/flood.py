@@ -25,7 +25,6 @@ host agent, in which case a stop request pauses the generator outright
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
 
 from repro.net.address import IPAddress

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from typing import Optional, Tuple, Union
 
-from repro.core.config import AITFConfig
 from repro.core.messages import FilteringRequest, RequestRole, VerificationQuery
 from repro.net.address import IPAddress
 from repro.net.flowlabel import FlowLabel

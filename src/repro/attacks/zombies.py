@@ -10,7 +10,7 @@ width against contract rates and filter-table sizes (E2, E3).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 from repro.attacks.flood import FloodAttack, SpoofedFloodAttack
 from repro.net.address import IPAddress

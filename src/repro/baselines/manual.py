@@ -21,7 +21,7 @@ it as the "no automation" anchor.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.net.flowlabel import FlowLabel

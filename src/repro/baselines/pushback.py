@@ -31,14 +31,13 @@ the fastest flow capturing it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Union
+from typing import Dict, List, Optional
 
 from repro.net.address import IPAddress
 from repro.net.flowlabel import FlowLabel
 from repro.net.link import Link
 from repro.net.packet import Packet, PacketKind
-from repro.router.nodes import BorderRouter, NetworkNode
-from repro.sim.engine import Simulator
+from repro.router.nodes import BorderRouter
 from repro.sim.process import PeriodicProcess
 from repro.sim.randomness import SeededRandom, stable_seed
 

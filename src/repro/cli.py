@@ -10,9 +10,12 @@ the unified experiment API (:mod:`repro.experiments`)::
     python -m repro sweep    --param defense.backend=aitf,pushback \
                              --param workloads.1.params.rate_pps=1500,3000 \
                              --workers 4 --output sweep.json
+    python -m repro sweep    --request examples/specs/grids/e3_victim_gateway_resources.json
     python -m repro sweep    --param duration=2,4 --cluster /shared/q --resume
     python -m repro worker   --cluster /shared/q
     python -m repro report   sweep.json --output report.md --csv cells.csv
+    python -m repro report   sweep.json --plot --figures-dir figures
+    python -m repro paper    --quick    # every committed grid -> figures/
 
 and keeps the original scenario families as thin shims over the same API::
 
@@ -175,16 +178,40 @@ def run_sweep(args: argparse.Namespace) -> int:
     """``repro sweep``: expand a parameter grid and run cells in parallel —
     on a local process pool, or distributed over a shared ``--cluster``
     directory (see :mod:`repro.cluster`)."""
-    if not args.param:
+    request = None
+    if args.request:
+        if args.param or getattr(args, "spec", None):
+            raise SystemExit(
+                "--request carries its own base spec and grid; it cannot be "
+                "combined with --param or --spec")
+        from repro.experiments.request import load_sweep_request, resolve_request
+
+        try:
+            request = load_sweep_request(args.request)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"repro sweep: {exc}") from exc
+        request = resolve_request(request, quick=args.quick,
+                                  source=args.request)
+        grid = request.grid
+    elif args.quick:
+        raise SystemExit("--quick only applies to --request sweeps "
+                         "(the quick variant lives in the request file)")
+    elif not args.param:
         raise SystemExit(
             "repro sweep needs at least one --param PATH=V1,V2,... "
-            "(e.g. --param defense.backend=aitf,pushback)")
-    grid: Dict[str, List[Any]] = {}
-    for path, raw in args.param:
-        values = [_parse_value(v) for v in raw.split(",") if v != ""]
-        if not values:
-            raise SystemExit(f"--param {path} has no values")
-        grid[path] = values
+            "(e.g. --param defense.backend=aitf,pushback) or --request FILE")
+    else:
+        # --param sweeps keep their historical 4 s default horizon; it is
+        # applied here (not in argparse) so a --request base spec's own
+        # duration is never clobbered by a default.
+        if args.duration is None:
+            args.duration = 4.0
+        grid = {}
+        for path, raw in args.param:
+            values = [_parse_value(v) for v in raw.split(",") if v != ""]
+            if not values:
+                raise SystemExit(f"--param {path} has no values")
+            grid[path] = values
     if not args.cluster:
         for flag, present in (("--resume", args.resume),
                               ("--enqueue-only", args.enqueue_only)):
@@ -196,7 +223,21 @@ def run_sweep(args: argparse.Namespace) -> int:
         raise SystemExit(
             "--workers does not apply with --cluster: parallelism comes "
             "from running `repro worker --cluster DIR` processes")
-    base = _base_spec(args)
+    if request is not None:
+        base = request.base
+        overrides: Dict[str, Any] = {}
+        if args.duration is not None:
+            overrides["duration"] = args.duration
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        for path, raw in args.set or []:
+            overrides[path] = _parse_value(raw)
+        if overrides:
+            base = base.with_overrides(overrides)
+        reseed = request.reseed and not args.no_reseed
+    else:
+        base = _base_spec(args)
+        reseed = not args.no_reseed
     if args.cluster:
         from repro.cluster import ClusterError, SweepCoordinator
 
@@ -206,7 +247,7 @@ def run_sweep(args: argparse.Namespace) -> int:
             coordinator = SweepCoordinator(args.cluster,
                                            lease_seconds=args.lease)
             manifest = coordinator.submit(base, grid,
-                                          reseed=not args.no_reseed,
+                                          reseed=reseed,
                                           resume=args.resume)
             if args.enqueue_only:
                 pending, leased, done = coordinator.queue.counts()
@@ -226,7 +267,7 @@ def run_sweep(args: argparse.Namespace) -> int:
         mode_note = f"cluster {args.cluster}"
     else:
         sweep = SweepRunner(workers=args.workers).run_grid(
-            base, grid, reseed=not args.no_reseed)
+            base, grid, reseed=reseed)
         mode_note = f"{args.workers} workers"
     doc = sweep.to_dict()
     if args.output:
@@ -240,11 +281,13 @@ def run_sweep(args: argparse.Namespace) -> int:
         f"Sweep: {len(sweep.cells)} cells x {mode_note}",
         [*axes, "seed", "ratio", "legit goodput", "first block"],
     )
+    from repro.analysis.sweep_report import axis_value
+
     for cell in sweep.cells:
         result = cell["result"]
         ttb = result["time_to_first_block"]
         table.add_row(
-            *[cell["overrides"].get(axis, "-") for axis in axes],
+            *[axis_value(cell["overrides"], axis, "-") for axis in axes],
             cell["seed"],
             format_ratio(result["effective_bandwidth_ratio"]),
             format_bps(result["legit_goodput_bps"]),
@@ -287,7 +330,8 @@ def run_worker(args: argparse.Namespace) -> int:
 
 def run_report(args: argparse.Namespace) -> int:
     """``repro report``: render a sweep/compare/result JSON document into
-    paper-style markdown and CSV tables."""
+    paper-style markdown and CSV tables — and, with ``--plot``, into
+    paper-style SVG figures."""
     from repro.analysis.sweep_report import (
         load_document,
         render_csv,
@@ -310,10 +354,100 @@ def run_report(args: argparse.Namespace) -> int:
         with open(args.csv, "w") as handle:
             handle.write(render_csv(doc))
         written.append(args.csv)
+    if args.plot:
+        written += _plot_document(doc, args)
+    elif args.figures_dir or args.request:
+        raise SystemExit("--figures-dir/--request only apply with --plot")
     if written:
         print(f"wrote {', '.join(written)}")
-    else:
+    elif not args.plot:
         print(markdown, end="")
+    return 0
+
+
+def _plot_document(doc: Any, args: argparse.Namespace) -> List[str]:
+    """The ``repro report --plot`` path: figures from a sweep document."""
+    from repro.analysis.figures import (
+        FigureRendererUnavailable,
+        default_figures,
+        have_matplotlib,
+        render_figures,
+    )
+
+    if not isinstance(doc, dict) or doc.get("schema") != "experiment_sweep/v1":
+        raise SystemExit(
+            "repro report --plot: figures are rendered from "
+            "experiment_sweep/v1 documents (run `repro sweep --output ...`)")
+    if args.renderer == "mpl" and not have_matplotlib():
+        raise SystemExit(
+            "repro report --plot: matplotlib is not installed; install the "
+            "plot extra with `pip install '.[plot]'` or pass "
+            "`--renderer builtin`")
+    if args.request:
+        from repro.experiments import load_sweep_request
+
+        figures = load_sweep_request(args.request).figures
+        if not figures:
+            raise SystemExit(
+                f"repro report --plot: {args.request} has no 'figures' section")
+    else:
+        figures = default_figures(doc)
+        if not figures:
+            raise SystemExit(
+                "repro report --plot: the sweep document has no grid axes to "
+                "plot against; describe figures in a --request file")
+    figures_dir = args.figures_dir or "figures"
+    try:
+        return render_figures(doc, figures, figures_dir,
+                              renderer=args.renderer)
+    except (FigureRendererUnavailable, ValueError) as exc:
+        raise SystemExit(f"repro report --plot: {exc}") from exc
+
+
+def run_paper(args: argparse.Namespace) -> int:
+    """``repro paper``: run every committed grid and emit figures + gallery."""
+    from repro.analysis.figures import have_matplotlib
+    from repro.paper import run_paper as run_paper_pipeline
+
+    if args.renderer == "mpl" and not have_matplotlib():
+        raise SystemExit(
+            "repro paper: matplotlib is not installed; install the plot "
+            "extra with `pip install '.[plot]'` or use the default "
+            "builtin renderer")
+    if args.cluster and args.workers != 1:
+        raise SystemExit(
+            "repro paper: --workers does not apply with --cluster; "
+            "parallelism comes from `repro worker` processes")
+    try:
+        summary = run_paper_pipeline(
+            grids_dir=args.grids,
+            output_dir=args.output,
+            quick=args.quick,
+            workers=args.workers,
+            cluster_dir=args.cluster or None,
+            renderer=args.renderer,
+            timeout=args.timeout,
+        )
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro paper: {exc}") from exc
+    except Exception as exc:  # ClusterError without importing eagerly
+        from repro.cluster import ClusterError
+
+        if isinstance(exc, ClusterError):
+            raise SystemExit(f"repro paper: {exc}") from exc
+        raise
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    table = ResultTable(
+        f"Paper reproduction ({'quick' if args.quick else 'full'} grids)",
+        ["grid", "cells", "figures", "cache hits", "wall s"],
+    )
+    for grid in summary["grids"]:
+        table.add_row(grid["name"], grid["cells"], len(grid["figures"]),
+                      grid["cache_hits"], f"{grid['wall_seconds']:.2f}")
+    table.add_note(f"gallery: {summary['gallery']}")
+    table.print()
     return 0
 
 
@@ -516,10 +650,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = subparsers.add_parser(
         "sweep", help="expand a parameter grid and run the cells in parallel")
-    _add_spec_flags(sweep, duration_default=4.0)
+    _add_spec_flags(sweep, duration_default=None)
     sweep.add_argument("--param", action="append", type=_parse_assignment,
                        metavar="PATH=V1,V2,...", default=[],
                        help="one sweep axis: dotted spec path and its values")
+    sweep.add_argument("--request", default="", metavar="FILE",
+                       help="a sweep_request/v1 file carrying the base spec, "
+                            "the grid and optional quick/figures sections "
+                            "(e.g. the committed grids in examples/specs/grids)")
+    sweep.add_argument("--quick", action="store_true",
+                       help="run the request's committed quick variant "
+                            "(CI-sized grid)")
     sweep.add_argument("--workers", type=int, default=1,
                        help="parallel worker processes (1 = serial)")
     sweep.add_argument("--output", default="",
@@ -573,7 +714,43 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: print to stdout)")
     report.add_argument("--csv", default="",
                         help="also write a flat CSV of the cells here")
+    report.add_argument("--plot", action="store_true",
+                        help="also render SVG figures from a sweep document")
+    report.add_argument("--figures-dir", default="",
+                        help="directory for --plot output (default: figures)")
+    report.add_argument("--renderer", default="mpl",
+                        choices=("mpl", "builtin"),
+                        help="figure renderer: matplotlib (the [plot] "
+                             "extra) or the dependency-free builtin SVG "
+                             "writer")
+    report.add_argument("--request", default="", metavar="FILE",
+                        help="sweep_request/v1 file whose 'figures' section "
+                             "describes what to plot (default: generic "
+                             "figures from the grid axes)")
     report.set_defaults(func=run_report)
+
+    paper = subparsers.add_parser(
+        "paper", help="reproduce the paper: run every committed grid and "
+                      "render figures + a gallery")
+    paper.add_argument("--grids", default=os.path.join("examples", "specs", "grids"),
+                       help="directory of sweep_request/v1 grid files")
+    paper.add_argument("--output", default="paper_results",
+                       help="output tree (sweeps/, reports/, figures/, index.md)")
+    paper.add_argument("--quick", action="store_true",
+                       help="run each grid's committed quick variant "
+                            "(CI-sized; minutes instead of hours)")
+    paper.add_argument("--workers", type=int, default=1,
+                       help="process-pool workers per grid (1 = serial)")
+    paper.add_argument("--cluster", default="", metavar="DIR",
+                       help="run each grid over this shared queue directory "
+                            "(one subdirectory per grid)")
+    paper.add_argument("--renderer", default="builtin",
+                       choices=("builtin", "mpl"),
+                       help="figure renderer (builtin is dependency-free "
+                            "and byte-deterministic)")
+    paper.add_argument("--timeout", type=float, default=None,
+                       help="per-grid cluster timeout in seconds")
+    paper.set_defaults(func=run_paper)
 
     flood = subparsers.add_parser("flood", help="one flood against the Figure-1 victim")
     flood.add_argument("--duration", type=float, default=10.0)

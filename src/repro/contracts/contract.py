@@ -15,7 +15,7 @@ it resolves the counterparty of a request from the link it arrived on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from repro.router.policer import TokenBucket

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
-from repro.contracts.contract import ContractBook, FilteringContract
+from repro.contracts.contract import ContractBook
 
 
 @dataclass

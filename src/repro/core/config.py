@@ -10,7 +10,7 @@ short grace period before escalating or disconnecting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 

@@ -29,7 +29,7 @@ code regardless of where it sits on the path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Optional, Tuple
 
 from repro.contracts.contract import ContractBook
 from repro.core.config import AITFConfig
@@ -48,7 +48,7 @@ from repro.net.flowlabel import FlowLabel
 from repro.net.link import Link
 from repro.net.packet import Packet, PacketKind
 from repro.router.filter_table import FilterEntry, FilterTableFullError
-from repro.router.nodes import BorderRouter, Host, NetworkNode
+from repro.router.nodes import BorderRouter
 from repro.router.shadow_cache import ShadowCache, ShadowEntry
 from repro.sim.process import Timer
 from repro.sim.randomness import SeededRandom, stable_seed
@@ -587,7 +587,6 @@ class GatewayAgent:
     # Verification queries addressed to this gateway
     # ==================================================================
     def _answer_query(self, query: VerificationQuery) -> None:
-        now = self.sim.now
         confirmed = self.wants_blocked(query.label)
         reply = query.matching_reply(confirmed=confirmed, responder=self.router.address)
         self._send_control(query.querier, PacketKind.VERIFICATION_REPLY, reply)
@@ -600,7 +599,6 @@ class GatewayAgent:
         now = self.sim.now
         link = self._link_toward_name(offender)
         if link is None:
-            address = self._victim_address(request)
             self.log.record(now, EventType.DISCONNECTION, self.name,
                             request.request_id, offender=offender,
                             reason=reason, link_found=False)

@@ -20,7 +20,7 @@ gateway: the nonce it chose, the timeout, and what to do on success/failure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from repro.core.messages import FilteringRequest, VerificationQuery, VerificationReply

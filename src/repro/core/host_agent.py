@@ -18,8 +18,7 @@ because it is an attack, not a protocol role.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.config import AITFConfig
 from repro.core.directory import NodeDirectory
@@ -29,7 +28,6 @@ from repro.core.messages import (
     FilteringRequest,
     RequestRole,
     VerificationQuery,
-    VerificationReply,
 )
 from repro.net.address import IPAddress
 from repro.net.flowlabel import FlowLabel

@@ -29,7 +29,19 @@ Sweep::
 """
 
 from repro.experiments.backends import DefenseBackend, build_backend
-from repro.experiments.registry import DEFENSES, TOPOLOGIES, WORKLOADS, Registry
+from repro.experiments.collectors import MetricCollector, build_collector
+from repro.experiments.registry import (
+    COLLECTORS,
+    DEFENSES,
+    TOPOLOGIES,
+    WORKLOADS,
+    Registry,
+)
+from repro.experiments.request import (
+    SWEEP_REQUEST_SCHEMA,
+    SweepRequest,
+    load_sweep_request,
+)
 from repro.experiments.runner import (
     RESULT_SCHEMA,
     ExperimentExecution,
@@ -38,13 +50,16 @@ from repro.experiments.runner import (
 )
 from repro.experiments.spec import (
     SPEC_SCHEMA,
+    CollectorSpec,
     DefenseSpec,
     ExperimentSpec,
     TopologySpec,
     WorkloadSpec,
     apply_override,
     canonical_spec_json,
+    default_attacker_resource_spec,
     default_flood_spec,
+    default_victim_resource_spec,
     spec_hash,
 )
 from repro.experiments.sweep import (
@@ -78,12 +93,21 @@ __all__ = [
     "TOPOLOGIES",
     "DEFENSES",
     "WORKLOADS",
+    "COLLECTORS",
     "TopologySpec",
     "DefenseSpec",
     "WorkloadSpec",
+    "CollectorSpec",
     "ExperimentSpec",
     "apply_override",
     "default_flood_spec",
+    "default_victim_resource_spec",
+    "default_attacker_resource_spec",
+    "MetricCollector",
+    "build_collector",
+    "SWEEP_REQUEST_SCHEMA",
+    "SweepRequest",
+    "load_sweep_request",
     "TopologyHandle",
     "build_topology",
     "WorkloadHandle",

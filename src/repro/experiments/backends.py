@@ -174,7 +174,8 @@ class PushbackBackend(DefenseBackend):
         victim_gw_agent = self.deployment.agents.get(ctx.handle.victim_gateway.name)
         time_to_first_block = None
         if victim_gw_agent is not None and victim_gw_agent.limiters:
-            first = min(l.installed_at for l in victim_gw_agent.limiters.values())
+            first = min(limiter.installed_at
+                        for limiter in victim_gw_agent.limiters.values())
             time_to_first_block = first - ctx.attack_window_start
         dropped = passed = 0
         for agent in self.deployment.agents.values():

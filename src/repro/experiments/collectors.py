@@ -1,0 +1,253 @@
+"""Metric-collector registry: measurement instruments named from a spec.
+
+The resource experiments (E2–E5) do not measure traffic at the victim — they
+measure *state*: filter-table occupancy at a gateway, shadow-cache entries,
+how many filtering requests were accepted, policed or honoured, and what the
+paper's provisioning formulas predict for the same parameters.  A spec asks
+for those measurements declaratively::
+
+    "collectors": [
+      {"kind": "filter-occupancy", "params": {"node": "victim_gateway",
+                                              "period": 0.05}},
+      {"kind": "shadow-occupancy", "params": {"period": 0.05}},
+      {"kind": "request-accounting"},
+      {"kind": "paper-formulas"}
+    ]
+
+Each collector lands in the result document under
+``collector_stats[<id>]`` (``id`` defaults to the collector's kind), so a
+sweep over request rates produces a JSON document a figure can be plotted
+straight from — which is exactly how the committed E2–E5 grid specs under
+``examples/specs/grids/`` drive ``repro paper``.
+
+Collectors that sample (the occupancy family) start *after* the workloads in
+spec order, which reproduces the start sequence of the original hand-written
+resource scenarios bit for bit (pinned by the golden determinism tests).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.analysis.metrics import OccupancySampler
+from repro.core.events import EventType
+from repro.experiments.registry import COLLECTORS
+
+
+class MetricCollector:
+    """One named measurement attached to a wired experiment.
+
+    ``start`` is called when the simulation starts (after the workloads);
+    ``collect`` is called after the run and returns a JSON-serializable dict
+    that lands in ``ExperimentResult.collector_stats[self.id]``.
+    """
+
+    kind = "collector"
+
+    def __init__(self, params: Mapping[str, Any]) -> None:
+        self.params = dict(params)
+        self.id: str = str(self.params.get("id", self.kind))
+
+    def start(self) -> None:
+        """Begin measuring (no-op for pure post-run accountants)."""
+
+    def collect(self, ctx: Any) -> Dict[str, Any]:
+        """The measured values (must be JSON-serializable)."""
+        return {"kind": self.kind}
+
+
+def _aitf_deployment(ctx: Any, kind: str) -> Any:
+    """The AITF deployment behind the experiment's backend, or a clean error."""
+    deployment = getattr(ctx.backend, "deployment", None)
+    if deployment is None or not hasattr(deployment, "gateway_agent"):
+        raise ValueError(
+            f"collector {kind!r} needs the 'aitf' defense backend "
+            f"(got {ctx.spec.defense.backend!r})")
+    return deployment
+
+
+def _resolve_router(ctx: Any, node: str, kind: str) -> Any:
+    """``node`` as a border router: the ``victim_gateway`` role or a name."""
+    if node == "victim_gateway":
+        return ctx.handle.victim_gateway
+    try:
+        router = ctx.handle.topology.node(node)
+    except KeyError:
+        router = None
+    if router is None or not hasattr(router, "filter_table"):
+        raise ValueError(
+            f"collector {kind!r}: node {node!r} is not a border router "
+            "with a filter table")
+    return router
+
+
+class _SamplingCollector(MetricCollector):
+    """Shared shape for the occupancy family: one :class:`OccupancySampler`."""
+
+    def __init__(self, params: Mapping[str, Any]) -> None:
+        super().__init__(params)
+        self.period = float(self.params.get("period", 0.1))
+        self.sampler: Optional[OccupancySampler] = None
+
+    def start(self) -> None:
+        assert self.sampler is not None
+        self.sampler.start()
+
+    def collect(self, ctx: Any) -> Dict[str, Any]:
+        assert self.sampler is not None
+        series = self.sampler.series
+        return {
+            "kind": self.kind,
+            "period": self.period,
+            "peak": self.sampler.peak,
+            "mean": self.sampler.mean,
+            "last": series.last(),
+            "samples": len(series),
+        }
+
+
+class _FilterOccupancy(_SamplingCollector):
+    kind = "filter-occupancy"
+
+
+@COLLECTORS.register("filter-occupancy")
+def _build_filter_occupancy(ctx: Any, index: int,
+                            params: Mapping[str, Any]) -> MetricCollector:
+    """Sample a border router's wire-speed filter-table occupancy.
+    Params: ``node`` (``victim_gateway`` or a router name), ``period``,
+    ``id``."""
+    collector = _FilterOccupancy(params)
+    node = str(params.get("node", "victim_gateway"))
+    router = _resolve_router(ctx, node, collector.kind)
+    collector.sampler = OccupancySampler(
+        ctx.sim, lambda: router.filter_table.occupancy,
+        period=collector.period, name=f"{router.name}-filters",
+    )
+    return collector
+
+
+class _ShadowOccupancy(_SamplingCollector):
+    kind = "shadow-occupancy"
+
+
+@COLLECTORS.register("shadow-occupancy")
+def _build_shadow_occupancy(ctx: Any, index: int,
+                            params: Mapping[str, Any]) -> MetricCollector:
+    """Sample the victim gateway's DRAM shadow-cache occupancy (the mv = R1*T
+    store of Section IV-B).  Params: ``period``, ``id``.  Requires the
+    ``aitf`` backend."""
+    collector = _ShadowOccupancy(params)
+    deployment = _aitf_deployment(ctx, collector.kind)
+    gateway_agent = deployment.gateway_agent(ctx.handle.victim_gateway.name)
+    collector.sampler = OccupancySampler(
+        ctx.sim, lambda: gateway_agent.shadow_cache.occupancy,
+        period=collector.period,
+        name=f"{ctx.handle.victim_gateway.name}-shadow",
+    )
+    return collector
+
+
+class _HostFilterOccupancy(_SamplingCollector):
+    kind = "host-filter-occupancy"
+
+
+@COLLECTORS.register("host-filter-occupancy")
+def _build_host_filter_occupancy(ctx: Any, index: int,
+                                 params: Mapping[str, Any]) -> MetricCollector:
+    """Sample a host agent's own outbound filter table (the attacker-side
+    na = R2*T store of Section IV-D).  Params: ``host`` (host name),
+    ``period``, ``id``.  Requires the ``aitf`` backend."""
+    collector = _HostFilterOccupancy(params)
+    deployment = _aitf_deployment(ctx, collector.kind)
+    host = params.get("host")
+    if not host:
+        raise ValueError("collector 'host-filter-occupancy' needs a 'host' param")
+    agent = deployment.host_agent(str(host))
+    collector.sampler = OccupancySampler(
+        ctx.sim, lambda: agent.outbound_filters.occupancy,
+        period=collector.period, name=f"{host}-filters",
+    )
+    return collector
+
+
+class _RequestAccounting(MetricCollector):
+    kind = "request-accounting"
+
+    def __init__(self, params: Mapping[str, Any], node: str) -> None:
+        super().__init__(params)
+        self.node = node
+
+    def collect(self, ctx: Any) -> Dict[str, Any]:
+        log = _aitf_deployment(ctx, self.kind).event_log
+        return {
+            "kind": self.kind,
+            "node": self.node,
+            "requests_accepted": len([
+                e for e in log.of_type(EventType.TEMP_FILTER_INSTALLED)
+                if e.node == self.node]),
+            "requests_policed": len([
+                e for e in log.of_type(EventType.REQUEST_POLICED)
+                if e.node == self.node]),
+            "filters_installed": len([
+                e for e in log.of_type(EventType.FILTER_INSTALLED)
+                if e.node == self.node]),
+        }
+
+
+@COLLECTORS.register("request-accounting")
+def _build_request_accounting(ctx: Any, index: int,
+                              params: Mapping[str, Any]) -> MetricCollector:
+    """Count filtering-request outcomes at one gateway: accepted (temporary
+    filter installed), policed (over the contract rate), and full-duration
+    filters installed (requests honoured).  Params: ``node`` (default: the
+    victim's gateway), ``id``.  Requires the ``aitf`` backend."""
+    _aitf_deployment(ctx, "request-accounting")
+    node = str(params.get("node", "")) or ctx.handle.victim_gateway.name
+    return _RequestAccounting(params, node)
+
+
+class _PaperFormulas(MetricCollector):
+    kind = "paper-formulas"
+
+    def __init__(self, params: Mapping[str, Any], rate: float) -> None:
+        super().__init__(params)
+        self.rate = rate
+
+    def collect(self, ctx: Any) -> Dict[str, Any]:
+        config = ctx.config
+        return {
+            "kind": self.kind,
+            "request_rate": self.rate,
+            "predicted_filters": config.victim_gateway_filters(self.rate),
+            "predicted_shadow_entries":
+                config.victim_gateway_shadow_entries(self.rate),
+            "predicted_protected_flows": config.protected_flows(self.rate),
+            "predicted_attacker_filters": config.attacker_side_filters(self.rate),
+        }
+
+
+@COLLECTORS.register("paper-formulas")
+def _build_paper_formulas(ctx: Any, index: int,
+                          params: Mapping[str, Any]) -> MetricCollector:
+    """The Section IV provisioning formulas evaluated at this run's request
+    rate: nv = R*Ttmp, mv = R*T, Nv = R*T, na = R*T.  Params:
+    ``request_rate`` (default: the first ``filter-requests`` workload's
+    rate), ``id``."""
+    rate = params.get("request_rate")
+    if rate is None:
+        for workload in ctx.workloads:
+            if workload.kind == "filter-requests":
+                rate = workload.params.get("rate", ctx.config.default_send_rate)
+                break
+    if rate is None:
+        raise ValueError(
+            "collector 'paper-formulas' needs a 'request_rate' param when no "
+            "filter-requests workload is present")
+    return _PaperFormulas(params, float(rate))
+
+
+def build_collector(ctx: Any, index: int, kind: str,
+                    params: Mapping[str, Any]) -> MetricCollector:
+    """Resolve ``kind`` in the registry and build the collector."""
+    builder = COLLECTORS.get(kind)
+    return builder(ctx, index, params)

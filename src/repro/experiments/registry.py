@@ -8,7 +8,7 @@ the most common failure mode is a typo in a spec file.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generic, Iterator, List, TypeVar
+from typing import Callable, Dict, Generic, Iterator, List, TypeVar
 
 T = TypeVar("T")
 
@@ -67,3 +67,6 @@ DEFENSES: Registry = Registry("defense backend")
 
 #: Workload builders: name -> callable(ctx, index, params) -> WorkloadHandle.
 WORKLOADS: Registry = Registry("workload")
+
+#: Metric collectors: name -> callable(ctx, index, params) -> MetricCollector.
+COLLECTORS: Registry = Registry("collector")

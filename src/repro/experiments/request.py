@@ -1,0 +1,138 @@
+"""Sweep-request documents: a whole parameter grid as one committed file.
+
+A ``sweep_request/v1`` file names everything one sweep needs — the base
+:class:`~repro.experiments.spec.ExperimentSpec`, the grid axes, the reseed
+policy — plus two optional reproduction extras:
+
+``quick``
+    A scaled-down variant of the same grid (override values for the base
+    spec and/or a replacement grid) so CI can run the whole paper in
+    minutes.  ``repro paper --quick`` and ``repro sweep --request FILE
+    --quick`` apply it; the full grid stays the committed default.
+
+``figures``
+    Declarative figure descriptions (see
+    :mod:`repro.analysis.figures`) rendered by ``repro report --plot`` and
+    ``repro paper``.
+
+The committed paper grids under ``examples/specs/grids/`` are all
+sweep-request files; ``repro paper`` runs every one of them and the output
+documents are byte-identical whether the cells ran serially, on a process
+pool or over a cluster directory.
+
+Grid axes may be *compound*: a key joining several dotted paths with commas
+(``"aitf.default_accept_rate,workloads.0.params.rate"``) whose values are
+lists with one entry per path.  Compound axes express parameters the
+experiment requires to move together — e.g. the paper's R1 sweeps, where the
+contract rate and the offered request rate are the same quantity.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.experiments.spec import ExperimentSpec, _reject_unknown_keys
+
+#: Version tag of sweep-request documents; bump on incompatible change.
+SWEEP_REQUEST_SCHEMA = "sweep_request/v1"
+
+
+@dataclass
+class SweepRequest:
+    """A parsed sweep-request file, ready to hand to a sweep runner."""
+
+    base: ExperimentSpec
+    grid: Dict[str, List[Any]]
+    name: str = ""
+    reseed: bool = True
+    quick_overrides: Dict[str, Any] = field(default_factory=dict)
+    quick_grid: Optional[Dict[str, List[Any]]] = None
+    figures: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def has_quick(self) -> bool:
+        """Whether the file commits a scaled-down quick variant."""
+        return bool(self.quick_overrides) or self.quick_grid is not None
+
+    def resolve(self, *, quick: bool = False) -> "SweepRequest":
+        """The request to actually run: itself, or its quick variant.
+
+        A quick resolve of a request with no ``quick`` section returns the
+        full grid; callers that promised a fast run should check
+        :attr:`has_quick` and warn (the CLI does).
+        """
+        if not quick:
+            return self
+        base = (self.base.with_overrides(self.quick_overrides)
+                if self.quick_overrides else self.base)
+        grid = self.quick_grid if self.quick_grid is not None else self.grid
+        return SweepRequest(base=base, grid=dict(grid), name=self.name,
+                            reseed=self.reseed, figures=list(self.figures))
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], *,
+                  name: str = "") -> "SweepRequest":
+        """Parse a ``sweep_request/v1`` dict (schema-checked)."""
+        schema = data.get("schema", SWEEP_REQUEST_SCHEMA)
+        if schema != SWEEP_REQUEST_SCHEMA:
+            raise ValueError(
+                f"unsupported sweep-request schema {schema!r} "
+                f"(this build reads {SWEEP_REQUEST_SCHEMA!r})")
+        known = {"schema", "name", "base_spec", "grid", "reseed", "quick",
+                 "figures"}
+        _reject_unknown_keys(data, known, "sweep request")
+        if "base_spec" not in data or "grid" not in data:
+            raise ValueError("sweep request needs 'base_spec' and 'grid'")
+        grid = _parse_grid(data["grid"])
+        quick = data.get("quick") or {}
+        if quick:
+            _reject_unknown_keys(quick, {"overrides", "grid"}, "sweep request 'quick'")
+        return cls(
+            base=ExperimentSpec.from_dict(data["base_spec"]),
+            grid=grid,
+            name=str(data.get("name", "") or name),
+            reseed=bool(data.get("reseed", True)),
+            quick_overrides=dict(quick.get("overrides") or {}),
+            quick_grid=(_parse_grid(quick["grid"])
+                        if quick.get("grid") is not None else None),
+            figures=[dict(figure) for figure in data.get("figures", [])],
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "SweepRequest":
+        """Read a sweep-request file (the file stem is the default name)."""
+        with open(path) as handle:
+            data = json.load(handle)
+        stem = os.path.splitext(os.path.basename(path))[0]
+        return cls.from_dict(data, name=stem)
+
+
+def _parse_grid(raw: Mapping[str, Any]) -> Dict[str, List[Any]]:
+    if not isinstance(raw, Mapping) or not raw:
+        raise ValueError("sweep request 'grid' must be a non-empty object")
+    grid: Dict[str, List[Any]] = {}
+    for key, values in raw.items():
+        if not isinstance(values, list) or not values:
+            raise ValueError(f"grid axis {key!r} must be a non-empty list")
+        grid[str(key)] = list(values)
+    return grid
+
+
+def load_sweep_request(path: str) -> SweepRequest:
+    """Read and parse one sweep-request file."""
+    return SweepRequest.load(path)
+
+
+def resolve_request(request: SweepRequest, *, quick: bool,
+                    source: str) -> SweepRequest:
+    """:meth:`SweepRequest.resolve` plus the standard stderr warning when a
+    quick run is asked of a file that committed no quick variant (shared by
+    ``repro sweep --request`` and ``repro paper``)."""
+    if quick and not request.has_quick:
+        print(f"warning: {source} has no 'quick' section; running its "
+              "full grid", file=sys.stderr)
+    return request.resolve(quick=quick)

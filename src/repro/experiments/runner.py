@@ -18,7 +18,8 @@ from typing import Any, Dict, List, Optional
 from repro.analysis.metrics import FlowMeter, GoodputMeter, OccupancySampler
 from repro.core.config import AITFConfig
 from repro.experiments.backends import DefenseBackend, build_backend
-from repro.experiments.spec import SPEC_SCHEMA, ExperimentSpec
+from repro.experiments.collectors import MetricCollector, build_collector
+from repro.experiments.spec import ExperimentSpec
 from repro.experiments.topologies import TopologyHandle, build_topology
 from repro.experiments.workloads import WorkloadHandle, build_workload
 from repro.router.nodes import BorderRouter
@@ -57,6 +58,7 @@ class ExperimentResult:
     attacker_gateway_peak_filters: Optional[float]
     defense_stats: Dict[str, Any] = field(default_factory=dict)
     workload_stats: List[Dict[str, Any]] = field(default_factory=list)
+    collector_stats: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     spec: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -90,6 +92,20 @@ class ExperimentExecution:
             for index, workload in enumerate(spec.workloads)
         ]
         self.backend.arm(self)
+
+        # Spec-declared metric collectors (occupancy samplers start after
+        # the workloads, in spec order — the legacy scenarios' sequence).
+        self.collectors: List[MetricCollector] = []
+        seen_ids: set = set()
+        for index, collector_spec in enumerate(spec.collectors):
+            collector = build_collector(self, index, collector_spec.kind,
+                                        collector_spec.params)
+            if collector.id in seen_ids:
+                raise ValueError(
+                    f"duplicate collector id {collector.id!r}; give one of "
+                    "them an explicit 'id' param")
+            seen_ids.add(collector.id)
+            self.collectors.append(collector)
 
         # Meters: one flow/tag meter per attack workload, one goodput meter,
         # and (optionally) occupancy samplers at both gateways.
@@ -156,6 +172,8 @@ class ExperimentExecution:
         if self._ran_until is None:
             for workload in self.workloads:
                 workload.start()
+            for collector in self.collectors:
+                collector.start()
             if self.victim_gw_occupancy is not None:
                 self.victim_gw_occupancy.start()
             if self.attacker_gw_occupancy is not None:
@@ -200,6 +218,7 @@ class ExperimentExecution:
             if self.attacker_gw_occupancy is not None else None,
             defense_stats=defense_stats,
             workload_stats=[w.stats() for w in self.workloads],
+            collector_stats={c.id: c.collect(self) for c in self.collectors},
             spec=self.spec.to_dict(),
         )
 

@@ -17,7 +17,6 @@ backend that does not exist fails with a message listing the valid choices.
 from __future__ import annotations
 
 import copy
-import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass, field
@@ -84,6 +83,25 @@ class WorkloadSpec:
 
 
 @dataclass
+class CollectorSpec:
+    """One metric collector (occupancy sampler, request accounting, paper
+    formulas), by registry name."""
+
+    kind: str = "filter-occupancy"
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": copy.deepcopy(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CollectorSpec":
+        _reject_unknown_keys(data, {"kind", "params"}, "collector")
+        if "kind" not in data:
+            raise ValueError("collector spec requires a 'kind'")
+        return cls(kind=data["kind"], params=_params_dict(data.get("params")))
+
+
+@dataclass
 class ExperimentSpec:
     """A complete, JSON-round-trippable description of one experiment.
 
@@ -91,8 +109,11 @@ class ExperimentSpec:
     ----------
     name:
         Free-form label carried into results.
-    topology / defense / workloads:
+    topology / defense / workloads / collectors:
         Registry references (see :mod:`repro.experiments.registry`).
+        Collectors are optional measurement instruments — occupancy
+        samplers, request accounting, the paper's provisioning formulas —
+        whose output lands in ``ExperimentResult.collector_stats``.
     aitf:
         Overrides for :class:`repro.core.config.AITFConfig` fields
         (``filter_timeout``, ``temporary_filter_timeout``, ...).  Applied
@@ -116,6 +137,7 @@ class ExperimentSpec:
     topology: TopologySpec = field(default_factory=TopologySpec)
     defense: DefenseSpec = field(default_factory=DefenseSpec)
     workloads: Tuple[WorkloadSpec, ...] = ()
+    collectors: Tuple[CollectorSpec, ...] = ()
     aitf: Dict[str, Any] = field(default_factory=dict)
     detection_delay: float = 0.1
     duration: float = 10.0
@@ -124,6 +146,7 @@ class ExperimentSpec:
 
     def __post_init__(self) -> None:
         self.workloads = tuple(self.workloads)
+        self.collectors = tuple(self.collectors)
         if self.duration <= 0:
             raise ValueError("duration must be positive")
         if self.detection_delay < 0:
@@ -140,6 +163,7 @@ class ExperimentSpec:
             "topology": self.topology.to_dict(),
             "defense": self.defense.to_dict(),
             "workloads": [w.to_dict() for w in self.workloads],
+            "collectors": [c.to_dict() for c in self.collectors],
             "aitf": copy.deepcopy(self.aitf),
             "detection_delay": self.detection_delay,
             "duration": self.duration,
@@ -159,8 +183,9 @@ class ExperimentSpec:
             raise ValueError(
                 f"unsupported spec schema {schema!r} (this build reads {SPEC_SCHEMA!r})"
             )
-        known = {"schema", "name", "topology", "defense", "workloads", "aitf",
-                 "detection_delay", "duration", "seed", "sample_occupancy"}
+        known = {"schema", "name", "topology", "defense", "workloads",
+                 "collectors", "aitf", "detection_delay", "duration", "seed",
+                 "sample_occupancy"}
         _reject_unknown_keys(data, known, "experiment")
         return cls(
             name=data.get("name", "experiment"),
@@ -168,6 +193,8 @@ class ExperimentSpec:
             defense=DefenseSpec.from_dict(data.get("defense", {})),
             workloads=tuple(WorkloadSpec.from_dict(w)
                             for w in data.get("workloads", [])),
+            collectors=tuple(CollectorSpec.from_dict(c)
+                             for c in data.get("collectors", [])),
             aitf=_params_dict(data.get("aitf")),
             detection_delay=float(data.get("detection_delay", 0.1)),
             duration=float(data.get("duration", 10.0)),
@@ -345,4 +372,103 @@ def default_flood_spec(
         detection_delay=detection_delay,
         duration=duration,
         seed=seed,
+    )
+
+
+def default_victim_resource_spec(
+    *,
+    request_rate: float = 100.0,
+    sources: int = 50,
+    cooperative_attacker_side: bool = True,
+    duration: float = 5.0,
+    seed: int = 0,
+    aitf: Optional[Mapping[str, Any]] = None,
+    name: str = "victim-gateway-resources",
+) -> ExperimentSpec:
+    """Experiments E2/E3 (Sections IV-A.2, IV-B): the victim's gateway is
+    driven with filtering requests at the contract rate R1 while its
+    wire-speed filter table and DRAM shadow cache are sampled.
+
+    ``aitf`` overrides the legacy scenario's configuration (filter timeout
+    60 s, Ttmp 0.6 s, contract rates equal to ``request_rate``).  This spec
+    is what :class:`repro.scenarios.resources.VictimGatewayResourceScenario`
+    is a shim over, and what the committed E2/E3 grids are built from.
+    """
+    aitf_config: Dict[str, Any] = dict(aitf) if aitf else {
+        "filter_timeout": 60.0,
+        "temporary_filter_timeout": 0.6,
+        "default_accept_rate": request_rate,
+        "default_send_rate": request_rate,
+    }
+    non_cooperating = [] if cooperative_attacker_side else ["source_gw"]
+    return ExperimentSpec(
+        name=name,
+        topology=TopologySpec("dumbbell", {"sources": sources}),
+        defense=DefenseSpec("aitf", {"non_cooperating": non_cooperating}),
+        workloads=(
+            WorkloadSpec("filter-requests", {"rate": request_rate}),
+        ),
+        collectors=(
+            CollectorSpec("filter-occupancy", {
+                "node": "victim_gateway", "period": 0.05,
+                "id": "victim-gw-filters"}),
+            CollectorSpec("shadow-occupancy", {
+                "period": 0.05, "id": "victim-gw-shadow"}),
+            CollectorSpec("request-accounting", {"id": "requests"}),
+            CollectorSpec("paper-formulas", {"id": "paper"}),
+        ),
+        aitf=aitf_config,
+        detection_delay=0.0,
+        duration=duration,
+        seed=seed,
+        sample_occupancy=False,
+    )
+
+
+def default_attacker_resource_spec(
+    *,
+    request_rate: float = 1.0,
+    filter_timeout: float = 60.0,
+    duration: float = 10.0,
+    seed: int = 0,
+    aitf: Optional[Mapping[str, Any]] = None,
+    name: str = "attacker-gateway-resources",
+) -> ExperimentSpec:
+    """Experiments E4/E5 (Sections IV-C, IV-D): the attacker's gateway (and
+    the attacker host itself) honours filtering requests arriving at rate R2
+    while both filter tables are sampled against na = R2*T.
+
+    This spec is what
+    :class:`repro.scenarios.resources.AttackerGatewayResourceScenario` is a
+    shim over, and what the committed E4/E5 grid is built from.
+    """
+    aitf_config: Dict[str, Any] = dict(aitf) if aitf else {
+        "filter_timeout": filter_timeout,
+        "temporary_filter_timeout": 0.6,
+        "default_accept_rate": max(100.0, request_rate * 2),
+        "default_send_rate": max(100.0, request_rate * 2),
+        "verification_enabled": False,
+    }
+    return ExperimentSpec(
+        name=name,
+        topology=TopologySpec("dumbbell", {"sources": 1}),
+        defense=DefenseSpec("aitf", {}),
+        workloads=(
+            WorkloadSpec("filter-requests", {"rate": request_rate}),
+        ),
+        collectors=(
+            CollectorSpec("filter-occupancy", {
+                "node": "source_gw", "period": 0.1,
+                "id": "attacker-gw-filters"}),
+            CollectorSpec("host-filter-occupancy", {
+                "host": "src0", "period": 0.1, "id": "attacker-host-filters"}),
+            CollectorSpec("request-accounting", {
+                "node": "source_gw", "id": "requests"}),
+            CollectorSpec("paper-formulas", {"id": "paper"}),
+        ),
+        aitf=aitf_config,
+        detection_delay=0.0,
+        duration=duration,
+        seed=seed,
+        sample_occupancy=False,
     )

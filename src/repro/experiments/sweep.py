@@ -70,12 +70,36 @@ class SweepCell:
         return spec_hash(self.spec)
 
 
+def axis_paths(axis: str) -> List[str]:
+    """The dotted spec paths one grid axis sets.
+
+    Most axes are a single path.  A *compound* axis joins several paths with
+    commas (``"aitf.default_accept_rate,workloads.0.params.rate"``) and its
+    values are lists with one entry per path — the way the paper's R1/R2
+    sweeps move a contract rate and an offered rate together.
+    """
+    return [segment.strip() for segment in axis.split(",") if segment.strip()]
+
+
+def _axis_overrides(axis: str, value: Any) -> Dict[str, Any]:
+    """One axis point as per-path overrides (splitting compound axes)."""
+    paths = axis_paths(axis)
+    if len(paths) == 1:
+        return {paths[0]: value}
+    if not isinstance(value, (list, tuple)) or len(value) != len(paths):
+        raise ValueError(
+            f"compound axis {axis!r} sets {len(paths)} paths, so each value "
+            f"must be a list of {len(paths)} entries (got {value!r})")
+    return dict(zip(paths, value))
+
+
 def expand_grid(base: ExperimentSpec, grid: Mapping[str, Sequence[Any]],
                 *, reseed: bool = True) -> List[SweepCell]:
     """Cartesian-product ``grid`` over ``base`` into concrete sweep cells.
 
     Grid keys are dotted paths into the spec (``defense.backend``,
-    ``workloads.1.params.rate_pps``, ``duration``); values are the points on
+    ``workloads.1.params.rate_pps``, ``duration``) or compound
+    comma-joined paths (see :func:`axis_paths`); values are the points on
     that axis.  With ``reseed`` (the default) every cell gets its own
     derived seed; ``reseed=False`` keeps the base seed in every cell, which
     pairs cells for like-for-like defense comparisons.  A ``seed`` axis in
@@ -89,7 +113,9 @@ def expand_grid(base: ExperimentSpec, grid: Mapping[str, Sequence[Any]],
             raise ValueError(f"sweep axis {key!r} has no values")
     cells: List[SweepCell] = []
     for combo in itertools.product(*(values for _, values in axes)):
-        overrides = {key: value for (key, _), value in zip(axes, combo)}
+        overrides: Dict[str, Any] = {}
+        for (key, _), value in zip(axes, combo):
+            overrides.update(_axis_overrides(key, value))
         spec = base.with_overrides(overrides)
         if reseed and "seed" not in overrides:
             spec = spec.with_overrides(

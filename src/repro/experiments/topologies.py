@@ -9,8 +9,8 @@ concrete network they are on.  The raw builder result stays reachable via
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Tuple
 
 from repro.experiments.registry import TOPOLOGIES
 from repro.router.nodes import BorderRouter, Host

@@ -9,7 +9,7 @@ schedule manual responses, wire stop callbacks).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping
 
 from repro.attacks.flood import FloodAttack, SpoofedFloodAttack
 from repro.attacks.legitimate import LegitimateTraffic, PoissonTraffic
@@ -233,6 +233,101 @@ class _ZombieHandle(WorkloadHandle):
                      packets_sent=self.generator.packets_sent,
                      active_count=self.generator.active_count)
         return stats
+
+
+class FilterRequestStream:
+    """Synthetic filtering-request load (the E2–E5 resource experiments).
+
+    The victim requests a block against a fresh undesired flow at a fixed
+    rate: sources rotate over every non-victim end host and the destination
+    port rotates so each request occupies its own filter slot — exactly the
+    load the paper's provisioning formulas (nv, mv, Nv, na) are written in
+    terms of, without simulating thousands of literal zombies.
+    """
+
+    def __init__(self, ctx: Any, *, rate: float, duration: Any = None,
+                 start_time: float = 0.0) -> None:
+        if rate <= 0:
+            raise ValueError("filter-requests rate must be positive")
+        self.ctx = ctx
+        self.rate = rate
+        #: None = follow the experiment horizon, resolved at start() so the
+        #: scenario shims can retarget the spec's duration without
+        #: rebuilding the wired experiment.
+        self.duration = duration
+        self.start_time = start_time
+        self.requests_sent = 0
+        handle = ctx.handle
+        self._victim = handle.victim
+        self._pool = [*handle.attackers, *handle.legit_senders]
+        if not self._pool:
+            raise ValueError(
+                f"topology {handle.kind!r} has no non-victim end hosts to "
+                "synthesise undesired flows from")
+
+    @property
+    def offered_rate_bps(self) -> float:
+        # Control-plane load, not data traffic.
+        return 0.0
+
+    def start(self) -> None:
+        """Schedule every request up front (legacy scenario order)."""
+        deployment = getattr(self.ctx.backend, "deployment", None)
+        if deployment is None or not hasattr(deployment, "host_agent"):
+            raise ValueError(
+                "the filter-requests workload needs the 'aitf' defense "
+                f"backend (got {self.ctx.spec.defense.backend!r})")
+        self._victim_agent = deployment.host_agent(self._victim.name)
+        interval = 1.0 / self.rate
+        duration = (self.duration if self.duration is not None
+                    else self.ctx.spec.duration - self.start_time)
+        count = int(duration * self.rate)
+        sim = self.ctx.sim
+        for index in range(count):
+            sim.call_at(self.start_time + index * interval,
+                        self._send_one_request, name="synthetic-request")
+
+    def _send_one_request(self) -> None:
+        source = self._pool[self.requests_sent % len(self._pool)]
+        label = FlowLabel.between(
+            source.address, self._victim.address,
+            protocol="udp", dst_port=1024 + self.requests_sent % 60000,
+        )
+        attack_path = self.ctx.handle.topology.border_router_path(
+            source, self._victim)
+        self._victim_agent.request_filtering(label, attack_path=attack_path)
+        self.requests_sent += 1
+
+
+class _FilterRequestHandle(WorkloadHandle):
+    """Control-plane workload: neither attack nor legitimate traffic."""
+
+    role = "control"
+
+    def stats(self) -> Dict[str, Any]:
+        stats = super().stats()
+        stats["requests_sent"] = self.generator.requests_sent
+        stats["rate"] = self.generator.rate
+        return stats
+
+
+@WORKLOADS.register("filter-requests")
+def _build_filter_requests(ctx: Any, index: int,
+                           params: Mapping[str, Any]) -> WorkloadHandle:
+    """Filtering requests from the victim at rate R (Sections IV-A.2–IV-D).
+    Params: ``rate`` (default: the run's ``default_send_rate`` contract),
+    ``duration`` (default: the spec horizon), ``start``.  Requires the
+    ``aitf`` backend."""
+    rate = float(params.get("rate", ctx.config.default_send_rate))
+    start = float(params.get("start", 0.0))
+    duration = params.get("duration")
+    stream = FilterRequestStream(
+        ctx, rate=rate,
+        duration=float(duration) if duration is not None else None,
+        start_time=start,
+    )
+    return _FilterRequestHandle("filter-requests", stream,
+                                start_time=start, params=params)
 
 
 def _pick_attacker(ctx: Any, params: Mapping[str, Any]) -> Host:

@@ -13,7 +13,7 @@ attack (experiment E11) rely on nothing more than these pipes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Protocol as TypingProtocol
 
 from repro.net.packet import Packet

@@ -9,7 +9,7 @@ bound and per-queue statistics that the goodput experiments read.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Optional
 
 from repro.net.packet import Packet

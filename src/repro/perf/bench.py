@@ -308,6 +308,7 @@ def run_sweep_bench_suite(repeats: int = 1, seed: int = 0,
         record("cluster_warm",
                lambda: SweepCoordinator(warm_dir).run_grid(base, grid,
                                                            resume=True))
+        _record_paper_quick(cases, tmp, repeats)
     finally:
         shutil.rmtree(tmp, ignore_errors=True)
     return {
@@ -317,6 +318,34 @@ def run_sweep_bench_suite(repeats: int = 1, seed: int = 0,
         "grid": {k: list(v) for k, v in grid.items()},
         "parallel_workers": parallel_workers,
         "cases": cases,
+    }
+
+
+def _record_paper_quick(cases: Dict[str, Dict], tmp: str, repeats: int) -> None:
+    """End-to-end `repro paper --quick` throughput (grids -> figures),
+    measured only when the committed grid files are reachable from the
+    working directory (benchmarks run from the repo root)."""
+    import os
+
+    from repro.paper import DEFAULT_GRIDS_DIR, run_paper
+
+    if not os.path.isdir(DEFAULT_GRIDS_DIR):
+        return
+    best: Optional[float] = None
+    cells = 0
+    for index in range(max(1, repeats)):
+        output = os.path.join(tmp, f"paper{index}")
+        start = time.perf_counter()
+        summary = run_paper(output_dir=output, quick=True)
+        wall = time.perf_counter() - start
+        cells = sum(grid["cells"] for grid in summary["grids"])
+        best = wall if best is None else min(best, wall)
+    assert best is not None
+    cases["paper_quick"] = {
+        "cells": cells,
+        "wall_seconds": best,
+        "cells_per_sec": cells / best if best > 0 else 0.0,
+        "cache_hits": 0,
     }
 
 

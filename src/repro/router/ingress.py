@@ -17,8 +17,8 @@ flags, when run in audit mode) packets whose source address does not belong.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from dataclasses import dataclass
+from typing import Dict, List, Union
 
 from repro.net.address import IPAddress, Prefix
 from repro.net.packet import Packet

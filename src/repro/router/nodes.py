@@ -22,7 +22,7 @@ baselines.
 from __future__ import annotations
 
 import sys
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Set, Union
 
 from repro.net.address import IPAddress, Prefix

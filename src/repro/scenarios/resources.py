@@ -9,25 +9,29 @@ filtering requests and measure what the paper's formulas predict:
 * the attacker's gateway (and the attacker itself) needs na = R2·T filters
   to honour requests arriving at rate R2.
 
-Rather than simulate thousands of literal zombies (which would only slow the
-packet level down without changing the request arithmetic), the scenario
-synthesises distinct undesired flows from many remote sources and has the
-victim request blocks at a controlled rate — which is exactly the load the
-formulas are written in terms of.
+Like :class:`repro.scenarios.flood_defense.FloodDefenseScenario`, both
+classes are now thin shims over the unified experiment API: the constructor
+translates its keyword arguments into an :class:`ExperimentSpec` (a
+``filter-requests`` workload plus occupancy / accounting / paper-formula
+collectors) and the experiment runner does the wiring.  The golden
+determinism tests pin that this translation reproduces the pre-refactor
+metrics bit for bit.  The same specs, swept over R1/R2, are the committed
+E2–E5 grids under ``examples/specs/grids/``.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
-from repro.analysis.metrics import OccupancySampler
 from repro.core.config import AITFConfig
-from repro.core.deployment import AITFDeployment, deploy_aitf
-from repro.core.events import EventType
-from repro.net.flowlabel import FlowLabel
-from repro.sim.randomness import SeededRandom
-from repro.topology.tree import Dumbbell, build_dumbbell
+from repro.experiments.runner import ExperimentResult, ExperimentRunner
+from repro.experiments.spec import (
+    ExperimentSpec,
+    default_attacker_resource_spec,
+    default_victim_resource_spec,
+)
 
 
 @dataclass
@@ -46,7 +50,83 @@ class VictimResourceResult:
     predicted_protected_flows: int
 
 
-class VictimGatewayResourceScenario:
+class _ResourceScenarioBase:
+    """Shared shim plumbing: spec in, live objects + collector stats out.
+
+    Wiring is lazy: the experiment is prepared on first use, because the
+    usual call pattern ``Scenario(...).run(duration=...)`` fixes the horizon
+    only at ``run`` time and the request count is a function of the horizon
+    (preparing eagerly would build the topology and deployment twice).
+    """
+
+    def __init__(self, spec: ExperimentSpec) -> None:
+        self.spec = spec
+        self._prepared = None
+
+    @property
+    def _execution(self):
+        if self._prepared is None:
+            self._prepared = ExperimentRunner().prepare(self.spec)
+        return self._prepared
+
+    def _rebuild_for(self, duration: float) -> None:
+        """Retarget the horizon when ``run`` asks for a different one.
+
+        The request count follows the horizon, but the filter-requests
+        workload resolves it from the spec at start time — so an execution
+        that has not started yet (including one already handed out through
+        the property surface: its samplers and agents stay valid) is
+        retargeted in place, and only an execution that already ran is
+        rebuilt.
+        """
+        if duration != self.spec.duration:
+            self.spec = self.spec.with_overrides({"duration": duration})
+            if self._prepared is not None:
+                if self._prepared._ran_until is None:
+                    self._prepared.spec = self.spec
+                else:
+                    self._prepared = None
+
+    # ------------------------------------------------------------------
+    # live objects (the pre-shim attribute surface, still supported)
+    # ------------------------------------------------------------------
+    @property
+    def dumbbell(self):
+        """The built dumbbell topology."""
+        return self._execution.handle.raw
+
+    @property
+    def sim(self):
+        """The simulator the scenario runs on."""
+        return self._execution.sim
+
+    @property
+    def config(self) -> AITFConfig:
+        """The AITF configuration the deployment runs."""
+        return self._execution.config
+
+    @property
+    def deployment(self):
+        """The AITF deployment."""
+        return self._execution.backend.deployment
+
+    @property
+    def victim_agent(self):
+        """The victim host's AITF agent."""
+        return self.deployment.host_agent(self._execution.handle.victim.name)
+
+    def _collector(self, collector_id: str):
+        for collector in self._execution.collectors:
+            if collector.id == collector_id:
+                return collector
+        raise KeyError(collector_id)
+
+    @property
+    def _request_count(self) -> int:
+        return self._execution.workloads[0].generator.requests_sent
+
+
+class VictimGatewayResourceScenario(_ResourceScenarioBase):
     """Drive the victim's gateway at a configurable filtering-request rate."""
 
     def __init__(
@@ -58,77 +138,52 @@ class VictimGatewayResourceScenario:
         cooperative_attacker_side: bool = True,
         seed: int = 0,
     ) -> None:
-        self.config = config or AITFConfig(
-            filter_timeout=60.0, temporary_filter_timeout=0.6,
-            default_accept_rate=request_rate, default_send_rate=request_rate,
-        )
         self.request_rate = request_rate
-        self.dumbbell: Dumbbell = build_dumbbell(sources=sources)
-        self.sim = self.dumbbell.sim
-        self.deployment: AITFDeployment = deploy_aitf(
-            self.dumbbell.all_nodes(), self.config,
-            rng=SeededRandom(seed, name="deployment"))
-        if not cooperative_attacker_side:
-            self.deployment.set_cooperative("source_gw", False)
-        self.victim_agent = self.deployment.host_agent("victim")
-        self.victim_gateway_agent = self.deployment.gateway_agent("victim_gw")
-        self.filter_sampler = OccupancySampler(
-            self.sim, lambda: self.dumbbell.victim_gateway.filter_table.occupancy,
-            period=0.05, name="victim_gw-filters",
-        )
-        self.shadow_sampler = OccupancySampler(
-            self.sim, lambda: self.victim_gateway_agent.shadow_cache.occupancy,
-            period=0.05, name="victim_gw-shadow",
-        )
-        self._request_count = 0
-        self._source_cycle = 0
+        aitf = dataclasses.asdict(config) if config is not None else None
+        super().__init__(default_victim_resource_spec(
+            request_rate=request_rate,
+            sources=sources,
+            cooperative_attacker_side=cooperative_attacker_side,
+            seed=seed,
+            aitf=aitf,
+        ))
 
-    # ------------------------------------------------------------------
-    # request generation
-    # ------------------------------------------------------------------
-    def _send_one_request(self) -> None:
-        """The victim requests a block against a fresh synthetic undesired flow."""
-        sources = self.dumbbell.sources
-        source = sources[self._source_cycle % len(sources)]
-        self._source_cycle += 1
-        # Distinct labels per request: rotate the destination port so each
-        # request occupies its own filter slot, like distinct zombie flows.
-        label = FlowLabel.between(
-            source.address, self.dumbbell.victim.address,
-            protocol="udp", dst_port=1024 + self._request_count % 60000,
-        )
-        attack_path = self.dumbbell.topology.border_router_path(
-            source, self.dumbbell.victim,
-        )
-        self.victim_agent.request_filtering(label, attack_path=attack_path)
-        self._request_count += 1
+    @property
+    def victim_gateway_agent(self):
+        """The victim gateway's AITF agent (shadow cache lives here)."""
+        return self.deployment.gateway_agent(
+            self._execution.handle.victim_gateway.name)
+
+    @property
+    def filter_sampler(self):
+        """Occupancy sampler on the gateway's wire-speed filter table."""
+        return self._collector("victim-gw-filters").sampler
+
+    @property
+    def shadow_sampler(self):
+        """Occupancy sampler on the gateway agent's DRAM shadow cache."""
+        return self._collector("victim-gw-shadow").sampler
 
     def run(self, duration: float = 5.0) -> VictimResourceResult:
         """Issue requests at the configured rate for ``duration`` seconds and measure."""
-        interval = 1.0 / self.request_rate
-        count = int(duration * self.request_rate)
-        for index in range(count):
-            self.sim.call_at(index * interval, self._send_one_request,
-                             name="synthetic-request")
-        self.filter_sampler.start()
-        self.shadow_sampler.start()
-        self.sim.run(until=duration)
-        log = self.deployment.event_log
-        accepted = len([e for e in log.of_type(EventType.TEMP_FILTER_INSTALLED)
-                        if e.node == "victim_gw"])
-        policed = len([e for e in log.of_type(EventType.REQUEST_POLICED)
-                       if e.node == "victim_gw"])
+        self._rebuild_for(duration)
+        result = self._execution.run(until=duration)
+        return self._legacy_result(result)
+
+    def _legacy_result(self, result: ExperimentResult) -> VictimResourceResult:
+        requests = result.collector_stats["requests"]
+        paper = result.collector_stats["paper"]
         return VictimResourceResult(
             request_rate=self.request_rate,
-            duration=duration,
-            requests_sent=self._request_count,
-            requests_accepted=accepted,
-            requests_policed=policed,
-            peak_filter_occupancy=self.filter_sampler.peak,
-            peak_shadow_occupancy=self.shadow_sampler.peak,
-            predicted_filters=self.config.victim_gateway_filters(self.request_rate),
-            predicted_shadow_entries=self.config.victim_gateway_shadow_entries(self.request_rate),
-            predicted_protected_flows=self.config.protected_flows(self.request_rate),
+            duration=result.duration,
+            requests_sent=result.workload_stats[0]["requests_sent"],
+            requests_accepted=requests["requests_accepted"],
+            requests_policed=requests["requests_policed"],
+            peak_filter_occupancy=result.collector_stats["victim-gw-filters"]["peak"],
+            peak_shadow_occupancy=result.collector_stats["victim-gw-shadow"]["peak"],
+            predicted_filters=paper["predicted_filters"],
+            predicted_shadow_entries=paper["predicted_shadow_entries"],
+            predicted_protected_flows=paper["predicted_protected_flows"],
         )
 
 
@@ -144,7 +199,7 @@ class AttackerResourceResult:
     predicted_filters: int
 
 
-class AttackerGatewayResourceScenario:
+class AttackerGatewayResourceScenario(_ResourceScenarioBase):
     """Drive the attacker's gateway with requests at rate R2 and measure filters."""
 
     def __init__(
@@ -155,61 +210,50 @@ class AttackerGatewayResourceScenario:
         filter_timeout: float = 60.0,
         seed: int = 0,
     ) -> None:
-        self.config = config or AITFConfig(
-            filter_timeout=filter_timeout,
-            temporary_filter_timeout=0.6,
-            default_accept_rate=max(100.0, request_rate * 2),
-            default_send_rate=max(100.0, request_rate * 2),
-            verification_enabled=False,
-        )
         self.request_rate = request_rate
-        self.dumbbell: Dumbbell = build_dumbbell(sources=1)
-        self.sim = self.dumbbell.sim
-        self.deployment: AITFDeployment = deploy_aitf(
-            self.dumbbell.all_nodes(), self.config,
-            rng=SeededRandom(seed, name="deployment"))
-        self.victim_agent = self.deployment.host_agent("victim")
-        self.attacker_host = self.dumbbell.sources[0]
-        self.attacker_agent = self.deployment.host_agent(self.attacker_host.name)
-        self.gateway_sampler = OccupancySampler(
-            self.sim, lambda: self.dumbbell.source_gateway.filter_table.occupancy,
-            period=0.1, name="source_gw-filters",
-        )
-        self.host_sampler = OccupancySampler(
-            self.sim, lambda: self.attacker_agent.outbound_filters.occupancy,
-            period=0.1, name="attacker-host-filters",
-        )
-        self._request_count = 0
+        aitf = dataclasses.asdict(config) if config is not None else None
+        super().__init__(default_attacker_resource_spec(
+            request_rate=request_rate,
+            filter_timeout=filter_timeout,
+            seed=seed,
+            aitf=aitf,
+        ))
 
-    def _send_one_request(self) -> None:
-        label = FlowLabel.between(
-            self.attacker_host.address, self.dumbbell.victim.address,
-            protocol="udp", dst_port=1024 + self._request_count % 60000,
-        )
-        attack_path = self.dumbbell.topology.border_router_path(
-            self.attacker_host, self.dumbbell.victim,
-        )
-        self.victim_agent.request_filtering(label, attack_path=attack_path)
-        self._request_count += 1
+    @property
+    def attacker_host(self):
+        """The single source host honouring the victim's requests."""
+        return self._execution.handle.attackers[0]
+
+    @property
+    def attacker_agent(self):
+        """The attacker host's AITF agent (outbound filters live here)."""
+        return self.deployment.host_agent(self.attacker_host.name)
+
+    @property
+    def gateway_sampler(self):
+        """Occupancy sampler on the attacker gateway's filter table."""
+        return self._collector("attacker-gw-filters").sampler
+
+    @property
+    def host_sampler(self):
+        """Occupancy sampler on the attacker host's outbound filter table."""
+        return self._collector("attacker-host-filters").sampler
 
     def run(self, duration: float = 10.0) -> AttackerResourceResult:
         """Issue requests at rate R2 for ``duration`` seconds and measure filters."""
-        interval = 1.0 / self.request_rate
-        count = int(duration * self.request_rate)
-        for index in range(count):
-            self.sim.call_at(index * interval, self._send_one_request,
-                             name="synthetic-request")
-        self.gateway_sampler.start()
-        self.host_sampler.start()
-        self.sim.run(until=duration)
-        log = self.deployment.event_log
-        delivered = len([e for e in log.of_type(EventType.FILTER_INSTALLED)
-                         if e.node == "source_gw"])
+        self._rebuild_for(duration)
+        result = self._execution.run(until=duration)
+        return self._legacy_result(result)
+
+    def _legacy_result(self, result: ExperimentResult) -> AttackerResourceResult:
         return AttackerResourceResult(
             request_rate=self.request_rate,
-            duration=duration,
-            requests_delivered=delivered,
-            gateway_peak_filter_occupancy=self.gateway_sampler.peak,
-            attacker_host_peak_filter_occupancy=self.host_sampler.peak,
-            predicted_filters=self.config.attacker_side_filters(self.request_rate),
+            duration=result.duration,
+            requests_delivered=result.collector_stats["requests"]["filters_installed"],
+            gateway_peak_filter_occupancy=(
+                result.collector_stats["attacker-gw-filters"]["peak"]),
+            attacker_host_peak_filter_occupancy=(
+                result.collector_stats["attacker-host-filters"]["peak"]),
+            predicted_filters=(
+                result.collector_stats["paper"]["predicted_attacker_filters"]),
         )

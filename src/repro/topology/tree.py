@@ -14,7 +14,7 @@ add up across a realistic client population:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.net.link import Link
 from repro.router.nodes import BorderRouter, Host

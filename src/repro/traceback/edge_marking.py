@@ -18,8 +18,8 @@ traceback-delay cost experiment E12 quantifies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.net.packet import Packet
 from repro.sim.randomness import SeededRandom, stable_seed

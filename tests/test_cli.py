@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import os
 
 import pytest
 
@@ -319,6 +320,165 @@ class TestReportCommand:
         bogus.write_text('{"hello": 1}')
         with pytest.raises(ValueError, match="unrecognised"):
             main(["report", str(bogus)])
+
+
+GRIDS_DIR = os.path.join(os.path.dirname(__file__), "..", "examples",
+                         "specs", "grids")
+
+
+def _write_tiny_grid(tmp_path):
+    """One CI-sized sweep-request file for paper/report tests."""
+    from repro.experiments import default_victim_resource_spec
+
+    grids = tmp_path / "grids"
+    grids.mkdir()
+    base = default_victim_resource_spec(request_rate=10.0, sources=5,
+                                        duration=1.0)
+    (grids / "tiny.json").write_text(json.dumps({
+        "schema": "sweep_request/v1",
+        "base_spec": base.to_dict(),
+        "grid": {"workloads.0.params.rate": [10.0, 20.0]},
+        "quick": {"grid": {"workloads.0.params.rate": [10.0]}},
+        "figures": [{"name": "accepted", "x": "workloads.0.params.rate",
+                     "y": "collector_stats.requests.requests_accepted"}],
+    }))
+    return grids
+
+
+class TestSweepRequestFlag:
+    def test_request_runs_a_committed_grid(self, capsys, tmp_path):
+        grids = _write_tiny_grid(tmp_path)
+        out_path = tmp_path / "sweep.json"
+        code = main(["sweep", "--request", str(grids / "tiny.json"),
+                     "--output", str(out_path)])
+        assert code == 0
+        assert "Sweep: 2 cells" in capsys.readouterr().out
+        doc = json.loads(out_path.read_text())
+        assert len(doc["cells"]) == 2
+        assert doc["cells"][0]["result"]["collector_stats"]["requests"]
+
+    def test_request_quick_variant(self, capsys, tmp_path):
+        grids = _write_tiny_grid(tmp_path)
+        code = main(["--json", "sweep", "--request", str(grids / "tiny.json"),
+                     "--quick"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert len(payload["cells"]) == 1
+
+    def test_request_excludes_param(self, tmp_path):
+        grids = _write_tiny_grid(tmp_path)
+        with pytest.raises(SystemExit, match="cannot be combined"):
+            main(["sweep", "--request", str(grids / "tiny.json"),
+                  "--param", "duration=1"])
+
+    def test_quick_needs_request(self):
+        with pytest.raises(SystemExit, match="--quick only applies"):
+            main(["sweep", "--param", "duration=1", "--quick"])
+
+
+class TestReportPlot:
+    def _sweep(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        assert main(["sweep", "--param", "defense.backend=aitf,none",
+                     "--param", "workloads.1.params.rate_pps=1500,3000",
+                     "--duration", "1", "--output", str(path)]) == 0
+        return path
+
+    def test_plot_builtin_writes_deterministic_svgs(self, capsys, tmp_path):
+        sweep_path = self._sweep(tmp_path)
+        figs = tmp_path / "figs"
+        code = main(["report", str(sweep_path), "--plot",
+                     "--renderer", "builtin", "--figures-dir", str(figs)])
+        assert code == 0
+        capsys.readouterr()
+        names = sorted(p.name for p in figs.iterdir())
+        assert names == ["effective-bandwidth-ratio.svg",
+                         "legit-goodput-bps.svg"]
+        first = (figs / names[0]).read_bytes()
+        assert main(["report", str(sweep_path), "--plot",
+                     "--renderer", "builtin", "--figures-dir", str(figs)]) == 0
+        assert (figs / names[0]).read_bytes() == first
+
+    def test_plot_default_renderer_errors_cleanly_without_matplotlib(
+            self, tmp_path, monkeypatch):
+        from repro.analysis import figures as figures_mod
+
+        monkeypatch.setattr(figures_mod, "have_matplotlib", lambda: False)
+        sweep_path = self._sweep(tmp_path)
+        with pytest.raises(SystemExit,
+                           match=r"pip install '\.\[plot\]'") as excinfo:
+            main(["report", str(sweep_path), "--plot",
+                  "--figures-dir", str(tmp_path / "figs")])
+        assert "matplotlib is not installed" in str(excinfo.value)
+
+    def test_figures_dir_requires_plot(self, tmp_path):
+        sweep_path = self._sweep(tmp_path)
+        with pytest.raises(SystemExit, match="only apply with --plot"):
+            main(["report", str(sweep_path), "--figures-dir", "x"])
+
+    def test_plot_rejects_non_sweep_documents(self, capsys, tmp_path):
+        result_path = tmp_path / "result.json"
+        assert main(["--json", "run", "--duration", "1"]) == 0
+        result_path.write_text(capsys.readouterr().out)
+        with pytest.raises(SystemExit, match="experiment_sweep/v1"):
+            main(["report", str(result_path), "--plot"])
+
+
+class TestPaperCommand:
+    def test_paper_runs_grids_and_writes_gallery(self, capsys, tmp_path):
+        grids = _write_tiny_grid(tmp_path)
+        output = tmp_path / "out"
+        code = main(["paper", "--grids", str(grids), "--output", str(output),
+                     "--renderer", "builtin"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Paper reproduction (full grids)" in out
+        assert (output / "index.md").exists()
+        assert (output / "sweeps" / "tiny.json").exists()
+        assert (output / "sweeps" / "tiny.provenance.json").exists()
+        assert (output / "reports" / "tiny.md").exists()
+        assert (output / "figures" / "tiny--accepted.svg").exists()
+        gallery = (output / "index.md").read_text()
+        assert "figures/tiny--accepted.svg" in gallery
+
+    def test_paper_quick_is_deterministic_across_workers(self, tmp_path):
+        grids = _write_tiny_grid(tmp_path)
+        first, second = tmp_path / "a", tmp_path / "b"
+        assert main(["paper", "--grids", str(grids), "--quick",
+                     "--output", str(first)]) == 0
+        assert main(["paper", "--grids", str(grids), "--quick",
+                     "--workers", "2", "--output", str(second)]) == 0
+        assert ((first / "sweeps" / "tiny.json").read_bytes()
+                == (second / "sweeps" / "tiny.json").read_bytes())
+        assert ((first / "figures" / "tiny--accepted.svg").read_bytes()
+                == (second / "figures" / "tiny--accepted.svg").read_bytes())
+        assert ((first / "index.md").read_bytes()
+                == (second / "index.md").read_bytes())
+
+    def test_paper_runs_the_committed_grids_quick(self, capsys, tmp_path):
+        output = tmp_path / "out"
+        code = main(["--json", "paper", "--grids", GRIDS_DIR, "--quick",
+                     "--output", str(output)])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        names = [grid["name"] for grid in payload["grids"]]
+        assert "e2_protected_flows" in names
+        assert "e4_e5_attacker_resources" in names
+        assert "powerlaw_scaling" in names
+        for grid in payload["grids"]:
+            assert grid["cells"] >= 1
+            assert grid["figures"]
+
+    def test_paper_rejects_workers_with_cluster(self, tmp_path):
+        with pytest.raises(SystemExit, match="--workers does not apply"):
+            main(["paper", "--grids", GRIDS_DIR, "--cluster",
+                  str(tmp_path / "q"), "--workers", "2"])
+
+    def test_paper_errors_cleanly_on_empty_grids_dir(self, tmp_path):
+        empty = tmp_path / "none"
+        empty.mkdir()
+        with pytest.raises(SystemExit, match="no grid files"):
+            main(["paper", "--grids", str(empty)])
 
 
 class TestSweepBenchCommand:

@@ -330,10 +330,13 @@ class TestSweepBenchSuite:
 
         doc = run_sweep_bench_suite(repeats=2)
         assert doc["schema"] == "bench_sweep/v1"
-        assert set(doc["cases"]) == {"serial", "parallel", "cluster_cold",
-                                     "cluster_warm"}
-        for case in doc["cases"].values():
-            assert case["cells"] == 6
+        # paper_quick joins the set only when the committed grid files are
+        # reachable from the working directory (pytest may run elsewhere).
+        assert set(doc["cases"]) - {"paper_quick"} == {
+            "serial", "parallel", "cluster_cold", "cluster_warm"}
+        for name, case in doc["cases"].items():
+            if name != "paper_quick":
+                assert case["cells"] == 6
             assert case["cells_per_sec"] > 0
         assert doc["cases"]["cluster_warm"]["cache_hits"] == 6
         assert doc["cases"]["serial"]["cache_hits"] == 0

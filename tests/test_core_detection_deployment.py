@@ -146,5 +146,5 @@ class TestDeployment:
     def test_victim_gateway_capacity_override(self):
         figure1 = build_figure1()
         config = AITFConfig(victim_gateway_filter_capacity=7)
-        deployment = deploy_aitf(figure1.all_nodes(), config)
+        deploy_aitf(figure1.all_nodes(), config)
         assert figure1.g_gw1.filter_table.capacity == 7

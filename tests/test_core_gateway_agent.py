@@ -11,7 +11,6 @@ from repro.attacks.flood import FloodAttack
 from repro.core.detection import ExplicitDetector
 from repro.core.events import EventType
 from repro.core.messages import FilteringRequest, RequestRole
-from repro.net.address import IPAddress
 from repro.net.flowlabel import FlowLabel
 from repro.net.packet import Packet, PacketKind
 
@@ -137,9 +136,7 @@ class TestAttackerGatewayRole:
                           if e.node == "B_gw1" and e.details.get("link_found")]
         assert len(disconnections) == 1
         # After disconnection nothing from B_host gets past B_gw1.
-        before = env.figure1.g_host.stats.packets_delivered
         env.sim.run(until=8.0)
-        attack_meter = [p for p in []]
         assert env.figure1.b_gw1.stats.packets_dropped_disconnected > 0
 
     def test_cooperative_attacker_not_disconnected(self):

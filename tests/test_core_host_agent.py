@@ -1,11 +1,9 @@
 """Unit tests for end-host AITF behaviour (victim and attacker roles)."""
 
-import pytest
 
 from repro.attacks.flood import FloodAttack
 from repro.core.events import EventType
 from repro.core.messages import FilteringRequest, RequestRole, VerificationQuery
-from repro.net.address import IPAddress
 from repro.net.flowlabel import FlowLabel
 from repro.net.packet import Packet, PacketKind
 

@@ -19,8 +19,13 @@ import dataclasses
 
 import pytest
 
+from repro.core.config import AITFConfig
 from repro.scenarios.flood_defense import FloodDefenseScenario
 from repro.scenarios.onoff import OnOffScenario
+from repro.scenarios.resources import (
+    AttackerGatewayResourceScenario,
+    VictimGatewayResourceScenario,
+)
 
 #: FloodDefenseResult of the seed implementation, default parameters, 10 s.
 GOLDEN_FLOOD_DEFAULT = {
@@ -70,6 +75,56 @@ GOLDEN_ONOFF_DEFAULT = {
 }
 
 
+#: VictimResourceResult of the legacy (pre-spec-shim) implementation:
+#: R1 = 50/s over a 20-source dumbbell for 3 s, T = 20 s, Ttmp = 0.5 s.
+GOLDEN_VICTIM_R50 = {
+    "request_rate": 50.0,
+    "duration": 3.0,
+    "requests_sent": 150,
+    "requests_accepted": 150,
+    "requests_policed": 0,
+    "peak_filter_occupancy": 25.0,
+    "peak_shadow_occupancy": 150.0,
+    "predicted_filters": 25,
+    "predicted_shadow_entries": 1000,
+    "predicted_protected_flows": 1000,
+}
+
+#: Same scenario family with the attacker-side gateway refusing to cooperate.
+GOLDEN_VICTIM_NONCOOP = {
+    "request_rate": 40.0,
+    "duration": 4.0,
+    "requests_sent": 160,
+    "requests_accepted": 160,
+    "requests_policed": 0,
+    "peak_filter_occupancy": 24.0,
+    "peak_shadow_occupancy": 160.0,
+    "predicted_filters": 24,
+    "predicted_shadow_entries": 2400,
+    "predicted_protected_flows": 2400,
+}
+
+#: AttackerResourceResult of the legacy implementation, default parameters.
+GOLDEN_ATTACKER_DEFAULT = {
+    "request_rate": 1.0,
+    "duration": 10.0,
+    "requests_delivered": 10,
+    "gateway_peak_filter_occupancy": 10.0,
+    "attacker_host_peak_filter_occupancy": 10.0,
+    "predicted_filters": 60,
+}
+
+#: AttackerResourceResult at R2 = 2/s, T = 20 s, run past T.
+GOLDEN_ATTACKER_R2 = {
+    "request_rate": 2.0,
+    "duration": 15.0,
+    "requests_delivered": 30,
+    "gateway_peak_filter_occupancy": 30.0,
+    "attacker_host_peak_filter_occupancy": 30.0,
+    "predicted_filters": 40,
+}
+
+
 def _assert_exact(result, golden: dict) -> None:
     actual = dataclasses.asdict(result)
     for key, expected in golden.items():
@@ -93,6 +148,41 @@ class TestSeedGoldenMetrics:
 
     def test_onoff_matches_seed_exactly(self):
         _assert_exact(OnOffScenario().run(duration=20.0), GOLDEN_ONOFF_DEFAULT)
+
+
+class TestResourceShimGoldenMetrics:
+    """The resource scenarios became shims over the spec API (filter-requests
+    workload + collectors); the golden values were recorded from the legacy
+    hand-wired classes, so every metric must come out bit-for-bit identical."""
+
+    def test_victim_r50_matches_legacy_exactly(self):
+        config = AITFConfig(filter_timeout=20.0, temporary_filter_timeout=0.5,
+                            default_accept_rate=50.0, default_send_rate=50.0)
+        scenario = VictimGatewayResourceScenario(config=config,
+                                                 request_rate=50.0, sources=20)
+        _assert_exact(scenario.run(duration=3.0), GOLDEN_VICTIM_R50)
+
+    def test_victim_noncooperative_matches_legacy_exactly(self):
+        scenario = VictimGatewayResourceScenario(
+            request_rate=40.0, sources=10,
+            cooperative_attacker_side=False, seed=3)
+        _assert_exact(scenario.run(duration=4.0), GOLDEN_VICTIM_NONCOOP)
+
+    def test_attacker_default_matches_legacy_exactly(self):
+        _assert_exact(AttackerGatewayResourceScenario().run(duration=10.0),
+                      GOLDEN_ATTACKER_DEFAULT)
+
+    def test_attacker_r2_matches_legacy_exactly(self):
+        scenario = AttackerGatewayResourceScenario(request_rate=2.0,
+                                                   filter_timeout=20.0)
+        _assert_exact(scenario.run(duration=15.0), GOLDEN_ATTACKER_R2)
+
+    def test_victim_repeats_identically(self):
+        first = dataclasses.asdict(
+            VictimGatewayResourceScenario(request_rate=30.0, sources=10).run(3.0))
+        second = dataclasses.asdict(
+            VictimGatewayResourceScenario(request_rate=30.0, sources=10).run(3.0))
+        assert first == second
 
 
 class TestRunToRunDeterminism:

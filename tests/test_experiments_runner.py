@@ -1,6 +1,5 @@
 """Tests for the experiment runner: uniform backends, shim fidelity, E9."""
 
-import dataclasses
 
 import pytest
 

@@ -6,7 +6,6 @@ unless the malicious node is an on-path router, which could drop the traffic
 anyway — is reproduced here against the real protocol implementation.
 """
 
-import pytest
 
 from repro.attacks.legitimate import LegitimateTraffic
 from repro.attacks.malicious import CompromisedRouterBehaviour, RequestForger

@@ -6,7 +6,6 @@ ingress filtering, whole zombie armies against one provider, and the
 interplay between AITF and the contract rates under those loads.
 """
 
-import pytest
 
 from repro.attacks.flood import ProtocolSwitchingAttack, SpoofedFloodAttack
 from repro.attacks.zombies import ZombieArmy
@@ -46,7 +45,6 @@ class TestProtocolSwitchingAttack:
         # victim must be receiving almost nothing by the end of the run.
         assert len(requests) >= 1
         assert any(e.node == "B_gw1" for e in log.of_type(EventType.FILTER_INSTALLED))
-        late_delivery = [p for p in []]
         assert figure1.g_gw1.filter_table.packets_blocked >= 0
 
     def test_per_protocol_labels_consume_filters_proportionally(self):
@@ -130,9 +128,6 @@ class TestZombieArmyDefense:
         dumbbell.sim.run(until=6.0)
 
         log = deployment.event_log
-        blocked_at_provider = {e.details.get("round") or 1
-                               for e in log.of_type(EventType.FILTER_INSTALLED)
-                               if e.node == "source_gw"}
         filters_at_provider = sum(1 for e in log.of_type(EventType.FILTER_INSTALLED)
                                   if e.node == "source_gw")
         # Every zombie flow ends up filtered at the zombies' own provider.

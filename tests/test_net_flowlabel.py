@@ -1,6 +1,5 @@
 """Unit tests for flow labels (the AITF filtering-request classifiers)."""
 
-import pytest
 
 from repro.net.address import IPAddress, Prefix
 from repro.net.flowlabel import FlowLabel

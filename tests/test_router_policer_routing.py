@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net.address import IPAddress, Prefix
+from repro.net.address import IPAddress
 from repro.net.packet import Packet
 from repro.router.ingress import IngressFilter
 from repro.router.policer import TokenBucket

@@ -1,6 +1,5 @@
 """Tests for the pre-wired end-to-end scenarios."""
 
-import pytest
 
 from repro.core.config import AITFConfig
 from repro.scenarios.flood_defense import FloodDefenseScenario

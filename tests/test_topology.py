@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.net.address import IPAddress
 from repro.net.packet import Packet
 from repro.router.nodes import BorderRouter, Host
 from repro.topology.base import Topology
