@@ -69,8 +69,50 @@ def test_scaling_throughput_does_not_regress(benchmark, calibration):
     )
 
 
+#: Train mode must beat per-packet mode on the fleet scenario by at least
+#: this factor in CI (the recorded full-size run in BENCH_engine.json is
+#: held to >= 5x; the gate runs a scaled-down fleet to stay fast, where
+#: fixed per-run costs weigh heavier, so the bar is the same 3x as above).
+REQUIRED_TRAIN_SPEEDUP = 3.0
+
+#: Scaled-down fleet for the CI gate: same scenario shape, ~4x smaller.
+FLEET_GATE_PARAMS = dict(autonomous_systems=100, hosts_per_leaf=6,
+                         zombies=250, rate_pps=40.0, duration=4.0)
+
+
+def test_fleet_train_mode_at_least_3x_packet_mode(benchmark):
+    """The packet-train engine gate: aggregated emission + fluid links must
+    keep their order-of-magnitude advantage over per-packet simulation on
+    the same fleet-scale scenario."""
+
+    def measure():
+        train = run_bench("fleet", repeats=1, warmup=False, **FLEET_GATE_PARAMS)
+        packet = run_bench("fleet_packet", repeats=1, warmup=False,
+                           **FLEET_GATE_PARAMS)
+        return train, packet
+
+    train, packet = run_once(benchmark, measure)
+    assert train.packets == packet.packets, (
+        "train and per-packet mode generated different packet counts on the "
+        "identical fleet scenario — the equivalence contract broke"
+    )
+    speedup = train.packets_per_sec / packet.packets_per_sec
+    table = ResultTable("Fleet: train vs per-packet mode", ["metric", "value"])
+    table.add_row("packets (both modes)", f"{train.packets:,}")
+    table.add_row("train mode pkts/sec", f"{train.packets_per_sec:,.0f}")
+    table.add_row("packet mode pkts/sec", f"{packet.packets_per_sec:,.0f}")
+    table.add_row("train-mode speedup", f"{speedup:.2f}x")
+    table.print()
+    assert speedup >= REQUIRED_TRAIN_SPEEDUP, (
+        f"fleet: train mode is only {speedup:.2f}x per-packet mode "
+        f"(gate is {REQUIRED_TRAIN_SPEEDUP}x) — the aggregation fast path "
+        "regressed (see PERFORMANCE.md, 'Train mode')"
+    )
+
+
 def test_bench_engine_json_is_checked_in_and_consistent():
-    """BENCH_engine.json must exist and carry the >=3x flood numbers."""
+    """BENCH_engine.json must exist and carry the >=3x flood numbers plus
+    the >=5x recorded fleet train-mode speedup."""
     with open(BENCH_JSON) as handle:
         doc = json.load(handle)
     assert doc["schema"] == "bench_engine/v1"
@@ -78,3 +120,8 @@ def test_bench_engine_json_is_checked_in_and_consistent():
     for name in ("flood", "flood_heavy"):
         entry = doc["benches"][name]
         assert entry["speedup_vs_seed"] >= REQUIRED_SPEEDUP
+    # The recorded fleet case: train mode >= 5x per-packet mode, and the
+    # perf trajectory history is being accumulated rather than overwritten.
+    assert doc["train_mode_speedup"]["fleet"] >= 5.0
+    assert doc["history"], "BENCH_engine.json should carry a history list"
+    assert doc["history"][-1]["packets_per_sec"].keys() == doc["benches"].keys()

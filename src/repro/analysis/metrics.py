@@ -26,6 +26,24 @@ from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicProcess
 
 
+def _spread_train_buckets(buckets: Dict[int, int], start: float,
+                          interval: float, count: int, size: int,
+                          bucket_seconds: float) -> None:
+    """Bucket a delivered train's packets at their nominal arrival times.
+
+    Deliberately iterative, not closed-form: the ``when += interval`` float
+    recurrence is the exact sequence per-packet mode's arrival times follow,
+    so every packet lands in the same bucket it would have per-packet — the
+    uncongested-equivalence tests pin windowed rates to the last bit.  The
+    loop runs only at metered hosts, once per *delivered* packet.
+    """
+    when = start
+    for _ in range(count):
+        bucket = int(when / bucket_seconds)
+        buckets[bucket] = buckets.get(bucket, 0) + size
+        when += interval
+
+
 class TimeSeries:
     """An append-only list of (time, value) samples."""
 
@@ -87,7 +105,7 @@ class FlowMeter:
         self.first_arrival: Optional[float] = None
         self.last_arrival: Optional[float] = None
         self._buckets: Dict[int, int] = {}
-        host.on_receive(self._observe)
+        host.on_receive(self._observe, train_callback=self._observe_train)
 
     def _observe(self, packet: Packet) -> None:
         if not self.label.matches(packet):
@@ -100,6 +118,28 @@ class FlowMeter:
         self.last_arrival = now
         bucket = int(now / self.bucket_seconds)
         self._buckets[bucket] = self._buckets.get(bucket, 0) + packet.size
+
+    def _observe_train(self, train) -> None:
+        """Aggregated delivery: exact counts, packets spread over the span.
+
+        The train's packets are bucketed at their nominal arrival times
+        (first packet now, then one interval apart), so the rate series is
+        the same shape per-packet mode would record, at one call per train.
+        """
+        template = train.template
+        if not self.label.matches(template):
+            return
+        now = self.host.sim.now
+        count = train.count
+        size = template.size
+        interval = train.interval
+        self.packets += count
+        self.bytes += count * size
+        if self.first_arrival is None:
+            self.first_arrival = now
+        self.last_arrival = now + (count - 1) * interval
+        _spread_train_buckets(self._buckets, now, interval, count, size,
+                              self.bucket_seconds)
 
     # ------------------------------------------------------------------
     # derived measurements
@@ -144,7 +184,7 @@ class GoodputMeter:
         self.packets = 0
         self.bytes = 0
         self._buckets: Dict[int, int] = {}
-        host.on_receive(self._observe)
+        host.on_receive(self._observe, train_callback=self._observe_train)
 
     def _observe(self, packet: Packet) -> None:
         if not packet.flow_tag.startswith(self.flow_tag_prefix):
@@ -153,6 +193,19 @@ class GoodputMeter:
         self.bytes += packet.size
         bucket = int(self.host.sim.now / self.bucket_seconds)
         self._buckets[bucket] = self._buckets.get(bucket, 0) + packet.size
+
+    def _observe_train(self, train) -> None:
+        """Aggregated delivery: exact counts, bucketed at nominal times."""
+        template = train.template
+        if not template.flow_tag.startswith(self.flow_tag_prefix):
+            return
+        count = train.count
+        size = template.size
+        self.packets += count
+        self.bytes += count * size
+        _spread_train_buckets(self._buckets, self.host.sim.now,
+                              train.interval, count, size,
+                              self.bucket_seconds)
 
     def goodput_bps(self, start: float, end: float) -> float:
         """Average goodput over [start, end] in bits per second."""

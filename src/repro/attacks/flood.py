@@ -30,8 +30,9 @@ from typing import List, Optional, Sequence, Union
 from repro.net.address import IPAddress
 from repro.net.flowlabel import FlowLabel
 from repro.net.packet import Packet, Protocol
+from repro.net.train import PacketTrain
 from repro.router.nodes import Host
-from repro.sim.process import BatchedProcess, PeriodicProcess
+from repro.sim.process import BatchedProcess, PeriodicProcess, TrainProcess
 from repro.sim.randomness import SeededRandom, stable_seed
 
 
@@ -42,7 +43,18 @@ class FloodAttack:
     with the correct inter-packet spacing instead of paying full periodic
     bookkeeping per packet, and each packet is cloned from a prebuilt
     template rather than reconstructed field by field.
+
+    In **train mode** (``train_mode=True``, used by experiments whose spec
+    sets ``engine.mode = "train"``) the generator goes one step further and
+    emits one :class:`~repro.net.train.PacketTrain` of up to ``max_train``
+    packets per wakeup — the per-packet cost disappears entirely.  Variants
+    whose packets differ per emission (spoofed sources) set
+    ``supports_trains = False`` and keep batched per-packet emission even
+    when the experiment asks for trains.
     """
+
+    #: Whether this generator's packets are homogeneous enough to aggregate.
+    supports_trains = True
 
     def __init__(
         self,
@@ -57,6 +69,9 @@ class FloodAttack:
         duration: Optional[float] = None,
         flow_tag: str = "attack",
         batch_size: int = 64,
+        train_mode: bool = False,
+        max_train: int = 256,
+        horizon: Optional[float] = None,
     ) -> None:
         if rate_pps <= 0:
             raise ValueError("rate_pps must be positive")
@@ -73,15 +88,32 @@ class FloodAttack:
         self.packets_suppressed = 0
         self._stopped_labels: List[FlowLabel] = []
         self._template: Optional[Packet] = None
+        self._interval = 1.0 / rate_pps
         self._send = attacker.send  # bound once; this fires per packet
-        self._process = BatchedProcess(
-            attacker.sim,
-            interval=1.0 / rate_pps,
-            callback=self._emit,
-            start_delay=start_time,
-            batch_size=batch_size,
-            name=f"flood-{attacker.name}",
-        )
+        if train_mode and self.supports_trains:
+            self._process = TrainProcess(
+                attacker.sim,
+                interval=self._interval,
+                callback=self._emit_train,
+                start_delay=start_time,
+                max_train=max_train,
+                horizon=horizon,
+                name=f"flood-{attacker.name}",
+            )
+            if duration is not None:
+                # Trains cannot be retracted, so the end-of-attack stop is a
+                # hard (exclusive) emission bound — matching per-packet mode,
+                # where the stop event wins the tie against a same-time tick.
+                self._process.limit_until = start_time + duration
+        else:
+            self._process = BatchedProcess(
+                attacker.sim,
+                interval=self._interval,
+                callback=self._emit,
+                start_delay=start_time,
+                batch_size=batch_size,
+                name=f"flood-{attacker.name}",
+            )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -128,6 +160,23 @@ class FloodAttack:
         else:
             self.packets_suppressed += 1
 
+    def _emit_train(self, count: int) -> None:
+        """Train-mode emission: one aggregated object for ``count`` packets.
+
+        The first-hop pipe shrinks ``train.count`` in place when its queue
+        tail-drops part of the train, so sent/suppressed split exactly as
+        per-packet mode's per-send booleans would have split them.
+        """
+        template = self._template
+        if template is None:
+            template = self._template = self._build_packet()
+        train = PacketTrain(template.clone(), count, self._interval)
+        if self.attacker.send_train(train):
+            self.packets_sent += train.count
+            self.packets_suppressed += count - train.count
+        else:
+            self.packets_suppressed += count
+
     def _next_packet(self) -> Packet:
         """The per-emission packet; clones a cached template on the hot path.
 
@@ -162,7 +211,15 @@ class FloodAttack:
 
 
 class SpoofedFloodAttack(FloodAttack):
-    """A flood whose packets carry forged source addresses."""
+    """A flood whose packets carry forged source addresses.
+
+    Every packet draws a fresh source, so there is nothing homogeneous to
+    aggregate: spoofed floods keep batched per-packet emission even in
+    train-mode experiments (the "split where a decision is per-packet" rule
+    applied at the source).
+    """
+
+    supports_trains = False
 
     def __init__(
         self,
@@ -216,6 +273,12 @@ class ProtocolSwitchingAttack(FloodAttack):
         (Protocol.TCP.value, 443),
         (Protocol.ICMP.value, None),
     )
+
+    #: Headers change on a schedule, so a train spanning a switch boundary
+    #: would carry the previous incarnation's label past the switch —
+    #: exactly the per-incarnation dynamics this attack exists to model.
+    #: Per-packet emission keeps every switch instantaneous.
+    supports_trains = False
 
     def __init__(self, attacker: Host, victim: Union[str, IPAddress],
                  *, switch_interval: float = 2.0, **kwargs) -> None:

@@ -18,13 +18,24 @@ from typing import Optional, Union
 
 from repro.net.address import IPAddress
 from repro.net.packet import Packet, Protocol
+from repro.net.train import PacketTrain
 from repro.router.nodes import Host
-from repro.sim.process import BatchedProcess
+from repro.sim.process import BatchedProcess, TrainProcess
 from repro.sim.randomness import SeededRandom, stable_seed
 
 
 class LegitimateTraffic:
-    """Constant-rate traffic from one well-behaved host to a destination."""
+    """Constant-rate traffic from one well-behaved host to a destination.
+
+    Supports the same opt-in train mode as the attack generators: constant
+    rate and a fixed template make the flow perfectly homogeneous, so one
+    :class:`~repro.net.train.PacketTrain` per wakeup carries the goodput
+    workload (``PoissonTraffic`` draws random inter-arrivals and therefore
+    always emits per-packet).
+    """
+
+    #: Whether this generator's packets are homogeneous enough to aggregate.
+    supports_trains = True
 
     def __init__(
         self,
@@ -37,6 +48,9 @@ class LegitimateTraffic:
         dst_port: int = 443,
         start_time: float = 0.0,
         duration: Optional[float] = None,
+        train_mode: bool = False,
+        max_train: int = 256,
+        horizon: Optional[float] = None,
     ) -> None:
         if rate_pps <= 0:
             raise ValueError("rate_pps must be positive")
@@ -57,11 +71,23 @@ class LegitimateTraffic:
         self._receiver_hooked = False
         self._flow_tag = f"legit-{sender.name}"
         self._template: Optional[Packet] = None
+        self._interval = 1.0 / rate_pps
         self._send = sender.send  # bound once; this fires per packet
-        self._process = BatchedProcess(
-            sender.sim, 1.0 / rate_pps, self._emit,
-            start_delay=start_time, name=f"legit-{sender.name}",
-        )
+        if train_mode and self.supports_trains:
+            self._process = TrainProcess(
+                sender.sim, self._interval, self._emit_train,
+                start_delay=start_time, max_train=max_train, horizon=horizon,
+                name=f"legit-{sender.name}",
+            )
+            if duration is not None:
+                # Exclusive bound: per-packet mode's end-of-traffic stop event
+                # wins the tie against a tick at the exact same time.
+                self._process.limit_until = start_time + duration
+        else:
+            self._process = BatchedProcess(
+                sender.sim, self._interval, self._emit,
+                start_delay=start_time, name=f"legit-{sender.name}",
+            )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -83,7 +109,8 @@ class LegitimateTraffic:
         if self._receiver_hooked:
             return
         self._receiver_hooked = True
-        receiver.on_receive(self._count_delivery)
+        receiver.on_receive(self._count_delivery,
+                            train_callback=self._count_train_delivery)
 
     # ------------------------------------------------------------------
     # metrics
@@ -130,14 +157,39 @@ class LegitimateTraffic:
         if self._send(packet):  # send() stamps created_at
             self.packets_sent += 1
 
+    def _emit_train(self, count: int) -> None:
+        """Train-mode emission: ``count`` packets as one aggregated object."""
+        template = self._template
+        if template is None:
+            template = self._template = Packet.data(
+                src=self.sender.address,
+                dst=self.destination,
+                protocol=self.protocol,
+                dst_port=self.dst_port,
+                size=self.packet_size,
+                flow_tag=self._flow_tag,
+            )
+        self.packets_offered += count
+        train = PacketTrain(template.clone(), count, self._interval)
+        if self.sender.send_train(train):
+            # The first-hop pipe shrinks train.count on partial tail-drop.
+            self.packets_sent += train.count
+
     def _count_delivery(self, packet: Packet) -> None:
         if packet.flow_tag == self._flow_tag:
             self.packets_received += 1
             self.bytes_received += packet.size
 
+    def _count_train_delivery(self, train) -> None:
+        if train.template.flow_tag == self._flow_tag:
+            self.packets_received += train.count
+            self.bytes_received += train.count * train.template.size
+
 
 class PoissonTraffic(LegitimateTraffic):
     """Legitimate traffic with exponentially distributed inter-arrivals."""
+
+    supports_trains = False
 
     def __init__(self, sender: Host, destination: Union[str, IPAddress],
                  *, rng: Optional[SeededRandom] = None, **kwargs) -> None:

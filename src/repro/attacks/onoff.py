@@ -21,12 +21,19 @@ from typing import Optional, Union
 from repro.net.address import IPAddress
 from repro.net.flowlabel import FlowLabel
 from repro.net.packet import Packet, Protocol
+from repro.net.train import PacketTrain
 from repro.router.nodes import Host
-from repro.sim.process import BatchedProcess, Timer
+from repro.sim.process import BatchedProcess, Timer, TrainProcess
 
 
 class OnOffAttack:
-    """A flood that alternates between bursting and going silent."""
+    """A flood that alternates between bursting and going silent.
+
+    In train mode each on-phase emits aggregated packet trains whose length
+    is clipped to the phase boundary (``TrainProcess.limit_until``), so a
+    train never leaks into an off-period — the duty cycle the shadow cache
+    has to catch is preserved exactly.
+    """
 
     def __init__(
         self,
@@ -40,6 +47,9 @@ class OnOffAttack:
         start_time: float = 0.0,
         cycles: Optional[int] = None,
         protocol: str = Protocol.UDP.value,
+        train_mode: bool = False,
+        max_train: int = 256,
+        horizon: Optional[float] = None,
     ) -> None:
         if rate_pps <= 0:
             raise ValueError("rate_pps must be positive")
@@ -59,11 +69,20 @@ class OnOffAttack:
         self.cycles_completed = 0
         self._stopped = False
         self._template: Optional[Packet] = None
+        self._interval = 1.0 / rate_pps
+        self._train_mode = train_mode
         self._send = attacker.send  # bound once; this fires per packet
-        self._emitter = BatchedProcess(
-            attacker.sim, 1.0 / rate_pps, self._emit,
-            name=f"onoff-{attacker.name}",
-        )
+        if train_mode:
+            self._emitter = TrainProcess(
+                attacker.sim, self._interval, self._emit_train,
+                max_train=max_train, horizon=horizon,
+                name=f"onoff-{attacker.name}",
+            )
+        else:
+            self._emitter = BatchedProcess(
+                attacker.sim, self._interval, self._emit,
+                name=f"onoff-{attacker.name}",
+            )
         self._phase_timer = Timer(attacker.sim, self._toggle, name="onoff-phase")
         self._in_on_phase = False
 
@@ -104,6 +123,10 @@ class OnOffAttack:
         if self._stopped:
             return
         self._in_on_phase = True
+        if self._train_mode:
+            # Trains must not cross the end of this on-phase (the bound is
+            # exclusive: per-packet mode's phase timer also wins ties).
+            self._emitter.limit_until = self.attacker.sim.now + self.on_duration
         self._emitter.start()
         self._phase_timer.start(self.on_duration)
 
@@ -142,3 +165,21 @@ class OnOffAttack:
             self.packets_sent += 1
         else:
             self.packets_suppressed += 1
+
+    def _emit_train(self, count: int) -> None:
+        template = self._template
+        if template is None:
+            template = self._template = Packet.data(
+                src=self.attacker.address,
+                dst=self.victim,
+                protocol=self.protocol,
+                size=self.packet_size,
+                flow_tag="onoff-attack",
+            )
+        train = PacketTrain(template.clone(), count, self._interval)
+        if self.attacker.send_train(train):
+            # The first-hop pipe shrinks train.count on partial tail-drop.
+            self.packets_sent += train.count
+            self.packets_suppressed += count - train.count
+        else:
+            self.packets_suppressed += count

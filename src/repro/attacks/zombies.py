@@ -34,6 +34,9 @@ class ZombieArmy:
         spoofed: bool = False,
         duration: Optional[float] = None,
         rng: Optional[SeededRandom] = None,
+        train_mode: bool = False,
+        max_train: int = 256,
+        horizon: Optional[float] = None,
     ) -> None:
         if not zombies:
             raise ValueError("an army needs at least one zombie")
@@ -49,6 +52,11 @@ class ZombieArmy:
                 start_time=start_time + jitter,
                 duration=duration,
                 flow_tag="zombie-attack",
+                # Spoofed zombies fall back to per-packet emission on their
+                # own (SpoofedFloodAttack.supports_trains is False).
+                train_mode=train_mode,
+                max_train=max_train,
+                horizon=horizon,
             )
             if spoofed:
                 kwargs["rng"] = self._rng.fork(zombie.name)

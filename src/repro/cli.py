@@ -535,9 +535,13 @@ def run_resources(args: argparse.Namespace) -> int:
 def run_bench(args: argparse.Namespace) -> int:
     """Engine throughput benchmarks; optionally writes BENCH_engine.json.
     ``--suite sweep`` benchmarks sweep execution (cells/sec, serial vs
-    parallel vs cluster) and writes BENCH_sweep.json instead."""
+    parallel vs cluster) and writes BENCH_sweep.json instead; ``--compare
+    OLD.json NEW.json`` diffs two recorded documents without running
+    anything."""
     from repro.perf.bench import BENCH_NAMES, calibrate, run_benches, write_bench_json
 
+    if args.compare:
+        return _compare_bench(args)
     if args.suite == "sweep":
         return _run_sweep_bench(args)
     names = BENCH_NAMES if args.scenario == "all" else (args.scenario,)
@@ -572,6 +576,46 @@ def run_bench(args: argparse.Namespace) -> int:
     table.print()
     print(f"calibration: {calibration:,.0f} ops/s"
           + (f"; wrote {args.output}" if args.output else ""))
+    return 0
+
+
+def _compare_bench(args: argparse.Namespace) -> int:
+    """The ``repro bench --compare OLD.json NEW.json`` path: a per-case
+    speedup table tracking the perf trajectory across recorded runs."""
+    from repro.perf.bench import compare_bench_docs
+
+    old_path, new_path = args.compare
+    try:
+        with open(old_path) as handle:
+            old_doc = json.load(handle)
+        with open(new_path) as handle:
+            new_doc = json.load(handle)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"repro bench --compare: {error}")
+    rows = compare_bench_docs(old_doc, new_doc)
+    if args.json:
+        print(json.dumps({"comparison": rows,
+                          "old_calibration": old_doc.get("calibration_ops_per_sec"),
+                          "new_calibration": new_doc.get("calibration_ops_per_sec")},
+                         indent=2))
+        return 0
+    table = ResultTable(f"Bench comparison: {old_path} -> {new_path}",
+                        ["bench", "old pkts/s", "new pkts/s", "speedup"])
+    for row in rows:
+        old_pps = row["old_packets_per_sec"]
+        new_pps = row["new_packets_per_sec"]
+        table.add_row(
+            row["name"],
+            f"{old_pps:,.0f}" if old_pps is not None else "-",
+            f"{new_pps:,.0f}" if new_pps is not None else "-",
+            f"{row['speedup']:.2f}x" if row["speedup"] is not None else "-",
+        )
+    table.print()
+    old_cal = old_doc.get("calibration_ops_per_sec")
+    new_cal = new_doc.get("calibration_ops_per_sec")
+    if old_cal and new_cal:
+        print(f"calibration: {old_cal:,.0f} -> {new_cal:,.0f} ops/s "
+              f"({new_cal / old_cal:.2f}x machine-speed shift)")
     return 0
 
 
@@ -790,14 +834,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="engine: packet throughput (BENCH_engine.json); "
                             "sweep: cells/sec across execution modes "
                             "(BENCH_sweep.json)")
+    from repro.perf.bench import BENCH_NAMES as _bench_names
+
     bench.add_argument("--scenario", default="all",
-                       choices=("all", "flood", "flood_heavy", "scaling"),
+                       choices=("all", *_bench_names),
                        help="which benchmark to run (engine suite)")
     bench.add_argument("--repeats", type=int, default=3,
                        help="runs per benchmark; the fastest is reported")
     bench.add_argument("--output", default="",
                        help="write results to this JSON file "
                             "(e.g. BENCH_engine.json)")
+    bench.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                       default=None,
+                       help="compare two recorded BENCH_engine.json files "
+                            "(per-case speedup table) instead of running")
     bench.add_argument("--seed", type=int, default=None,
                        help="seed for the benchmark workloads "
                             "(default: the recorded-baseline seeds)")

@@ -135,7 +135,8 @@ class GatewayAgent:
         if config.victim_gateway_filter_capacity is not None:
             router.filter_table.capacity = config.victim_gateway_filter_capacity
         router.control_handler = self._handle_control
-        router.add_forward_observer(self._observe_forwarded)
+        router.add_forward_observer(self._observe_forwarded,
+                                    train_observer=self._observe_forwarded_train)
 
     # ------------------------------------------------------------------
     # public inspection helpers (used by tests and benchmarks)
@@ -385,8 +386,24 @@ class GatewayAgent:
     def _observe_forwarded(self, packet: Packet, link: Link) -> None:
         """Forward-path hook: catch on-off flows against the shadow cache."""
         entry = self.shadow_cache.match_packet(packet)
-        if entry is None:
-            return
+        if entry is not None:
+            self._on_shadow_hit(entry)
+
+    def _observe_forwarded_train(self, train, link: Link) -> None:
+        """Train-mode forward hook: one shadow lookup for a whole train.
+
+        A train is homogeneous, so either every packet matches a shadowed
+        label or none does; :meth:`ShadowCache.match_train` advances the
+        reappearance counter by the full packet count and the reaction
+        (re-protect + escalate, both grace-throttled) fires once per train
+        exactly as it effectively does once per packet burst in per-packet
+        mode.
+        """
+        entry = self.shadow_cache.match_train(train.template, train.count)
+        if entry is not None:
+            self._on_shadow_hit(entry)
+
+    def _on_shadow_hit(self, entry: ShadowEntry) -> None:
         request_id = self._victim_by_label.get(entry.label)
         if request_id is None:
             return

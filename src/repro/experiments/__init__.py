@@ -52,6 +52,7 @@ from repro.experiments.spec import (
     SPEC_SCHEMA,
     CollectorSpec,
     DefenseSpec,
+    EngineSpec,
     ExperimentSpec,
     TopologySpec,
     WorkloadSpec,
@@ -98,6 +99,7 @@ __all__ = [
     "DefenseSpec",
     "WorkloadSpec",
     "CollectorSpec",
+    "EngineSpec",
     "ExperimentSpec",
     "apply_override",
     "default_flood_spec",

@@ -81,6 +81,13 @@ class ExperimentExecution:
         self.spec = spec
         self.handle: TopologyHandle = build_topology(spec.topology.kind,
                                                      spec.topology.params)
+        #: Engine selection (packet vs train); workload builders read this to
+        #: decide whether generators aggregate, and links flip to fluid
+        #: serialization before any traffic exists.
+        self.engine = spec.engine
+        if spec.engine.mode == "train":
+            for link in self.handle.topology.links:
+                link.enable_train_mode()
         self.config: AITFConfig = (AITFConfig(**dict(spec.aitf))
                                    if spec.aitf else AITFConfig())
         self.rng = SeededRandom(spec.seed, name="experiment")

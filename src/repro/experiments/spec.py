@@ -101,6 +101,42 @@ class CollectorSpec:
         return cls(kind=data["kind"], params=_params_dict(data.get("params")))
 
 
+#: Engine modes a spec may select.
+ENGINE_MODES = ("packet", "train")
+
+
+@dataclass
+class EngineSpec:
+    """How the simulator executes traffic: per-packet or aggregated trains.
+
+    ``packet`` (the default) is the exact per-packet event engine — the
+    mode every golden determinism test pins.  ``train`` aggregates
+    homogeneous traffic into :class:`~repro.net.train.PacketTrain` objects
+    of up to ``max_train`` packets that cross links and routers as single
+    events, trading sub-train timing fidelity under congestion for an
+    order of magnitude in throughput (see PERFORMANCE.md, "Train mode").
+    """
+
+    mode: str = "packet"
+    max_train: int = 256
+
+    def __post_init__(self) -> None:
+        if self.mode not in ENGINE_MODES:
+            raise ValueError(f"unknown engine mode {self.mode!r} "
+                             f"(choose from {', '.join(ENGINE_MODES)})")
+        if self.max_train < 1:
+            raise ValueError(f"max_train must be >= 1, got {self.max_train}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"mode": self.mode, "max_train": self.max_train}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EngineSpec":
+        _reject_unknown_keys(data, {"mode", "max_train"}, "engine")
+        return cls(mode=data.get("mode", "packet"),
+                   max_train=int(data.get("max_train", 256)))
+
+
 @dataclass
 class ExperimentSpec:
     """A complete, JSON-round-trippable description of one experiment.
@@ -127,6 +163,10 @@ class ExperimentSpec:
         Simulated horizon in seconds (the CLI can override at run time).
     seed:
         Root seed for every stochastic component of the run.
+    engine:
+        Execution engine selection (:class:`EngineSpec`): the exact
+        per-packet default, or opt-in packet-train aggregation for
+        fleet-scale scenarios.
     sample_occupancy:
         Attach filter-table occupancy samplers at the victim's and
         attacker's gateways (the flood experiments want this; pure
@@ -142,6 +182,7 @@ class ExperimentSpec:
     detection_delay: float = 0.1
     duration: float = 10.0
     seed: int = 0
+    engine: EngineSpec = field(default_factory=EngineSpec)
     sample_occupancy: bool = True
 
     def __post_init__(self) -> None:
@@ -168,6 +209,7 @@ class ExperimentSpec:
             "detection_delay": self.detection_delay,
             "duration": self.duration,
             "seed": self.seed,
+            "engine": self.engine.to_dict(),
             "sample_occupancy": self.sample_occupancy,
         }
 
@@ -185,7 +227,7 @@ class ExperimentSpec:
             )
         known = {"schema", "name", "topology", "defense", "workloads",
                  "collectors", "aitf", "detection_delay", "duration", "seed",
-                 "sample_occupancy"}
+                 "engine", "sample_occupancy"}
         _reject_unknown_keys(data, known, "experiment")
         return cls(
             name=data.get("name", "experiment"),
@@ -199,6 +241,7 @@ class ExperimentSpec:
             detection_delay=float(data.get("detection_delay", 0.1)),
             duration=float(data.get("duration", 10.0)),
             seed=int(data.get("seed", 0)),
+            engine=EngineSpec.from_dict(data.get("engine", {})),
             sample_occupancy=bool(data.get("sample_occupancy", True)),
         )
 

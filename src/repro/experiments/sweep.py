@@ -23,10 +23,12 @@ lives in a separate *provenance* record, never in the document itself.
 
 from __future__ import annotations
 
+import atexit
 import concurrent.futures
 import hashlib
 import itertools
 import json
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -225,13 +227,43 @@ def provenance_sidecar_path(output_path: str) -> str:
     return output_path + ".provenance.json"
 
 
+#: Persistent process pools shared by every SweepRunner in this process,
+#: keyed by worker count.  Pool startup (interpreter spawn + imports) used
+#: to be paid per sweep, which made a 2-worker pool *slower* than serial on
+#: small grids; reusing the pool across sweeps amortises it away.
+_SHARED_POOLS: Dict[int, concurrent.futures.ProcessPoolExecutor] = {}
+
+
+def _shared_pool(workers: int) -> concurrent.futures.ProcessPoolExecutor:
+    pool = _SHARED_POOLS.get(workers)
+    if pool is None:
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+        _SHARED_POOLS[workers] = pool
+    return pool
+
+
+def _discard_pool(workers: int) -> None:
+    pool = _SHARED_POOLS.pop(workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+@atexit.register
+def _shutdown_shared_pools() -> None:  # pragma: no cover - process teardown
+    for workers in list(_SHARED_POOLS):
+        _discard_pool(workers)
+
+
 class SweepRunner:
     """Expand a grid and run every cell, optionally in parallel.
 
-    ``workers <= 1`` runs serially in-process.  ``workers > 1`` uses a
-    ``concurrent.futures.ProcessPoolExecutor``; if the platform cannot spawn
-    worker processes the runner degrades to serial execution rather than
-    failing the sweep.  Results are identical either way.
+    ``workers <= 1`` runs serially in-process.  ``workers > 1`` dispatches
+    chunks of cells onto a *persistent* ``ProcessPoolExecutor`` shared
+    across sweeps (see :data:`_SHARED_POOLS`): pool startup is paid once
+    per process instead of once per sweep, and chunked dispatch amortises
+    the per-task pickling round-trip.  If the platform cannot spawn worker
+    processes the runner degrades to serial execution rather than failing
+    the sweep.  Results are identical either way.
 
     For fan-out beyond one machine — or crash-safe, cache-accelerated
     re-runs — see :class:`repro.cluster.SweepCoordinator`, which shares this
@@ -284,10 +316,21 @@ class SweepRunner:
     ) -> List[Tuple[Dict[str, Any], float]]:
         if self.workers <= 1 or len(spec_dicts) <= 1:
             return [_execute_cell_timed(d) for d in spec_dicts]
+        # The pool is keyed (and sized) by the *requested* worker count, not
+        # clamped to the grid: differently sized grids then reuse one pool
+        # instead of accumulating a pool per distinct min(workers, cells).
+        busy = min(self.workers, len(spec_dicts))
+        # Cells per dispatched task: big enough to amortise pickling, small
+        # enough that every worker gets at least a couple of chunks (load
+        # balancing when cell durations vary across the grid).
+        chunksize = max(1, math.ceil(len(spec_dicts) / (busy * 4)))
         try:
-            with concurrent.futures.ProcessPoolExecutor(
-                    max_workers=min(self.workers, len(spec_dicts))) as pool:
-                return list(pool.map(_execute_cell_timed, spec_dicts))
+            pool = _shared_pool(self.workers)
+            return list(pool.map(_execute_cell_timed, spec_dicts,
+                                 chunksize=chunksize))
         except (OSError, PermissionError, concurrent.futures.process.BrokenProcessPool):
-            # Sandboxes without fork/spawn still get a correct (serial) sweep.
+            # Sandboxes without fork/spawn still get a correct (serial)
+            # sweep; a broken pool is discarded so the next sweep retries
+            # from a fresh one.
+            _discard_pool(self.workers)
             return [_execute_cell_timed(d) for d in spec_dicts]

@@ -92,6 +92,21 @@ class _SingleAttackHandle(WorkloadHandle):
         return stats
 
 
+def _train_kwargs(ctx: Any) -> Dict[str, Any]:
+    """Generator kwargs carrying the experiment's engine selection.
+
+    In train mode every generator learns the aggregation bound and the run
+    horizon (trains must not outlive the simulation, or the emitted-packet
+    count would differ from per-packet mode); generators that cannot
+    aggregate ignore the hint on their own.
+    """
+    engine = getattr(ctx, "engine", None)
+    if engine is None or engine.mode != "train":
+        return {}
+    return {"train_mode": True, "max_train": engine.max_train,
+            "horizon": ctx.spec.duration}
+
+
 @WORKLOADS.register("flood")
 def _build_flood(ctx: Any, index: int, params: Mapping[str, Any]) -> WorkloadHandle:
     """Constant-rate flood from one attacker host.  Params: ``rate_pps``,
@@ -104,6 +119,7 @@ def _build_flood(ctx: Any, index: int, params: Mapping[str, Any]) -> WorkloadHan
         packet_size=int(params.get("packet_size", 1000)),
         start_time=start,
         duration=params.get("duration"),
+        **_train_kwargs(ctx),
     )
     if params.get("spoofed", False):
         attack = SpoofedFloodAttack(attacker, ctx.handle.victim.address,
@@ -131,6 +147,7 @@ def _build_onoff(ctx: Any, index: int, params: Mapping[str, Any]) -> WorkloadHan
         off_duration=float(off) if off is not None else ttmp * 1.5,
         start_time=start,
         cycles=params.get("cycles"),
+        **_train_kwargs(ctx),
     )
     handle = _OnOffHandle("onoff", attack, attacker, start_time=start, params=params)
     return handle
@@ -168,6 +185,7 @@ def _build_legitimate(ctx: Any, index: int, params: Mapping[str, Any]) -> Worklo
         packet_size=int(params.get("packet_size", 1000)),
         start_time=start,
         duration=params.get("duration"),
+        **_train_kwargs(ctx),
     )
     if params.get("poisson", False):
         traffic = PoissonTraffic(sender, ctx.handle.victim.address,
@@ -203,6 +221,7 @@ def _build_zombies(ctx: Any, index: int, params: Mapping[str, Any]) -> WorkloadH
         spoofed=bool(params.get("spoofed", False)),
         duration=params.get("duration"),
         rng=ctx.rng.fork(f"zombies-{index}"),
+        **_train_kwargs(ctx),
     )
     return _ZombieHandle("zombies", army, zombies, start_time=start, params=params)
 

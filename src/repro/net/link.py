@@ -18,6 +18,7 @@ from typing import Optional, Protocol as TypingProtocol
 
 from repro.net.packet import Packet
 from repro.net.queues import DropTailQueue
+from repro.net.train import PacketTrain
 from repro.sim.engine import Simulator
 
 
@@ -82,6 +83,15 @@ class _Pipe:
         self._qstats = queue.stats
         self._cap_bytes = queue.capacity_bytes
         self._zero_packet_cap = queue.capacity_packets == 0
+        # Train-mode (fluid) state; inert until enable_train_mode() flips
+        # the pipe over.  See _fluid_send_train for the model.
+        self._train_mode = False
+        # Link.__init__ guarantees bandwidth_bps > 0; the fluid paths divide
+        # by this, so the invariant is load-bearing.
+        self._srate = bandwidth_bps / 8.0
+        self._fl_rate = 0.0   # offered inflow from active trains, bytes/sec
+        self._fl_q = 0.0      # fluid queue level, bytes
+        self._fl_t = 0.0      # time of the last fluid-state update
 
     @property
     def queue(self) -> DropTailQueue:
@@ -154,6 +164,180 @@ class _Pipe:
         stats.bytes_delivered += packet.size
         self._sink.receive_packet(packet, self._link)
 
+    # ------------------------------------------------------------------
+    # train mode: fluid serialization
+    # ------------------------------------------------------------------
+    # In train mode the pipe stops materialising per-packet events and
+    # models itself as a fluid server: admitted trains contribute an
+    # arrival *rate* over their span, the serializer drains at the link
+    # rate, and the queue is a piecewise-linear level updated only at
+    # events (train arrival, span end, single-packet send).  Acceptance is
+    # decided in closed form at arrival:
+    #
+    # * queue empty and aggregate inflow <= capacity -> the train passes
+    #   through exactly as per-packet mode would deliver it (first packet
+    #   at t + tx + delay, spacing unchanged) — the uncongested case is
+    #   *exact*;
+    # * otherwise the queue fills at (inflow - service) until it hits the
+    #   byte capacity, after which the train keeps only its fair share
+    #   service/inflow of the remaining packets; the accepted sub-train is
+    #   forwarded (count shrunk, spacing stretched to span/accepted) and
+    #   the tail-dropped remainder is accounted in bulk.
+    #
+    # Individual packets (AITF control traffic) ride the same fluid state
+    # as instantaneous bursts, so they queue behind train backlog exactly
+    # like data would.  The approximations — atomic per-train admission,
+    # fair-share dropping, uniform output spacing — only engage under
+    # congestion; the equivalence tests in tests/test_train_mode.py pin
+    # how far they may drift from per-packet mode.
+    def enable_train_mode(self) -> None:
+        """Flip this pipe to fluid serialization (train-mode experiments).
+
+        Per-packet sends are redirected by overriding the bound ``send``
+        attribute, so packet-mode pipes pay zero extra cost.
+        """
+        if self._train_mode:
+            return
+        self._train_mode = True
+        self._fl_t = self._sim._now
+        self.send = self._fluid_send_packet  # type: ignore[method-assign]
+
+    def _fl_advance(self, now: float) -> None:
+        """Advance the fluid queue level to ``now`` (clamped to [0, cap])."""
+        t0 = self._fl_t
+        if now > t0:
+            q = self._fl_q + (self._fl_rate - self._srate) * (now - t0)
+            cap = self._cap_bytes
+            self._fl_q = 0.0 if q <= 0.0 else (cap if q > cap else q)
+            self._fl_t = now
+
+    def _fl_release(self, rate: float) -> None:
+        """A train's span ended: its arrival rate stops contributing."""
+        self._fl_advance(self._sim._now)
+        remaining = self._fl_rate - rate
+        self._fl_rate = remaining if remaining > 1e-12 else 0.0
+
+    def _fluid_send_packet(self, packet: Packet) -> bool:
+        """Train-mode single-packet send: an instantaneous one-packet burst."""
+        stats = self.stats
+        stats.packets_sent += 1
+        size = packet.size
+        qstats = self._qstats
+        if size > self._cap_bytes or self._zero_packet_cap:
+            qstats.dropped += 1
+            qstats.bytes_dropped += size
+            stats.packets_dropped += 1
+            return False
+        sim = self._sim
+        self._fl_advance(sim._now)
+        q0 = self._fl_q
+        if q0 + size > self._cap_bytes:
+            qstats.dropped += 1
+            qstats.bytes_dropped += size
+            stats.packets_dropped += 1
+            return False
+        self._fl_q = q0 + size
+        qstats.enqueued += 1
+        qstats.bytes_enqueued += size
+        qstats.dequeued += 1
+        if qstats.peak_depth_packets < 1:
+            qstats.peak_depth_packets = 1
+        depth = int(q0) + size
+        if qstats.peak_depth_bytes < depth:
+            qstats.peak_depth_bytes = depth
+        tx = size / self._srate
+        stats.busy_time += tx
+        sim.schedule_fire(q0 / self._srate + tx + self._delay,
+                          self._deliver, packet)
+        return True
+
+    def send_train(self, train: PacketTrain) -> bool:
+        """Offer a whole train; False means every packet was dropped."""
+        n = train.count
+        template = train.template
+        size = template.size
+        if n == 1:
+            return self._fluid_send_packet(template)
+        stats = self.stats
+        stats.packets_sent += n
+        qstats = self._qstats
+        if size > self._cap_bytes or self._zero_packet_cap:
+            qstats.count_train(0, n, size)
+            stats.packets_dropped += n
+            return False
+        sim = self._sim
+        now = sim._now
+        self._fl_advance(now)
+        srate = self._srate
+        dt = train.interval
+        rate = size / dt
+        inflow = self._fl_rate + rate
+        span = n * dt
+        q0 = self._fl_q
+        cap = self._cap_bytes
+        if q0 <= 0.0 and inflow <= srate:
+            # Exact pass-through: nothing waiting and the aggregate rate
+            # fits the link.  First packet out after one serialization,
+            # spacing preserved — identical to the per-packet lazy pipe.
+            accepted = n
+            wait = 0.0
+            out_interval = dt
+        else:
+            wait = q0 / srate
+            if inflow > srate:
+                fill_time = (cap - q0) / (inflow - srate)
+                if fill_time >= span:
+                    accepted = n
+                else:
+                    share = srate / inflow
+                    frac = (fill_time + (span - fill_time) * share) / span
+                    accepted = int(n * frac)
+                    if accepted > n:
+                        accepted = n
+            else:
+                accepted = n
+            out_interval = span / accepted if accepted else dt
+        dropped = n - accepted
+        qstats.count_train(accepted, dropped, size)
+        if dropped:
+            stats.packets_dropped += dropped
+            # The fluid queue is (or will be) full; record the saturated depth.
+            if qstats.peak_depth_bytes < cap:
+                qstats.peak_depth_bytes = cap
+            packets_deep = cap // size
+            if qstats.peak_depth_packets < packets_deep:
+                qstats.peak_depth_packets = packets_deep
+        # The *offered* rate joins the fluid state (drops happen at the tail
+        # of this queue, so later arrivals must see the full contention) —
+        # even for a train that loses every packet, or surviving flows would
+        # compute their fair share from an understated inflow.  Downstream
+        # pipes see only the admitted rate, through the delivered train's
+        # shrunken count and stretched spacing.  The rate releases at the
+        # *last packet's* nominal time, (n-1)*dt — strictly before the next
+        # train of the same flow arrives, so a steady flow never counts
+        # itself twice.
+        self._fl_rate += rate
+        sim.fire_at(now + (n - 1) * dt, self._fl_release, rate)
+        if accepted == 0:
+            return False
+        if qstats.peak_depth_packets < 1:
+            qstats.peak_depth_packets = 1
+        if qstats.peak_depth_bytes < size:
+            qstats.peak_depth_bytes = size
+        tx = size / srate
+        stats.busy_time += accepted * tx
+        train.count = accepted
+        train.interval = out_interval
+        sim.schedule_fire(wait + tx + self._delay, self._deliver_train, train)
+        return True
+
+    def _deliver_train(self, train: PacketTrain) -> None:
+        stats = self.stats
+        count = train.count
+        stats.packets_delivered += count
+        stats.bytes_delivered += count * train.template.size
+        self._sink.receive_train(train, self._link)
+
 
 class Link:
     """A bidirectional point-to-point link between two nodes."""
@@ -200,6 +384,23 @@ class Link:
         if sender is self.b:
             return self._pipe_to_a.send(packet)
         raise ValueError(f"{getattr(sender, 'name', sender)} is not attached to link {self.name}")
+
+    def send_train(self, train: PacketTrain, sender: PacketSink) -> bool:
+        """Transmit an aggregated packet train (train-mode experiments only)."""
+        if sender is self.a:
+            return self._pipe_to_b.send_train(train)
+        if sender is self.b:
+            return self._pipe_to_a.send_train(train)
+        raise ValueError(f"{getattr(sender, 'name', sender)} is not attached to link {self.name}")
+
+    def enable_train_mode(self) -> None:
+        """Switch both directions to fluid (train-aware) serialization.
+
+        One-way: experiments opt in before any traffic flows; links in the
+        default per-packet mode never check the flag at all.
+        """
+        self._pipe_to_b.enable_train_mode()
+        self._pipe_to_a.enable_train_mode()
 
     def other_end(self, node: PacketSink) -> PacketSink:
         """The endpoint that is not ``node``."""

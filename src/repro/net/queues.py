@@ -39,6 +39,23 @@ class QueueStats:
         offered = self.enqueued + self.dropped
         return self.dropped / offered if offered else 0.0
 
+    def count_train(self, accepted: int, dropped: int, size: int) -> None:
+        """Bulk accounting for an aggregated packet train crossing this queue.
+
+        Train mode never materialises the train's packets in the deque — the
+        fluid pipe decides acceptance in closed form — but the counters must
+        read exactly as if ``accepted`` packets passed through and ``dropped``
+        were tail-dropped, so goodput experiments see one set of semantics
+        whatever the engine mode.
+        """
+        if accepted:
+            self.enqueued += accepted
+            self.bytes_enqueued += accepted * size
+            self.dequeued += accepted
+        if dropped:
+            self.dropped += dropped
+            self.bytes_dropped += dropped * size
+
     @property
     def packets_lost(self) -> int:
         """Every packet this queue accepted or saw but never delivered."""

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -246,6 +247,69 @@ class FilterTable:
             best.last_blocked_at = now
             self.packets_blocked += 1
         return best
+
+    def blocks_train(self, template: Packet, count: int, interval: float,
+                     count_checked: bool = True) -> Tuple[Optional[FilterEntry], int]:
+        """Train-mode :meth:`blocks`: how many of ``count`` packets spaced
+        ``interval`` apart (first one arriving *now*) does a filter block?
+
+        Returns ``(entry, blocked)``.  ``blocked`` is 0 when nothing
+        matches; ``count`` when the matching filter outlives the whole
+        train; and the blocked *prefix length* when the filter expires
+        mid-train — the caller re-submits the remainder at the first
+        unblocked packet's nominal time, which is exactly the per-packet
+        decision boundary (a split, not an approximation).  Per-entry and
+        table counters are multiplied by the blocked count, and
+        ``last_blocked_at`` is set to the last blocked packet's time so
+        cooperation-grace checks see the same evidence per-packet mode
+        would have left.  Re-submitted remainders pass
+        ``count_checked=False`` so ``packets_checked`` counts each packet
+        exactly once, as per-packet mode would.
+
+        The match lookup below mirrors :meth:`blocks` line for line rather
+        than sharing a helper — :meth:`blocks` is the per-packet forwarding
+        hot path and must not pay an extra call; keep the two in sync.
+        """
+        if count_checked:
+            self.packets_checked += count
+        if not self._entries:
+            return None, 0
+        heap = self._expiry_heap
+        now = self._clock()
+        if heap and heap[0][0] <= now:
+            self._purge_expired()
+            if not self._entries:
+                return None, 0
+        best: Optional[FilterEntry] = None
+        bucket = self._exact.get((template.src.value << 32) | template.dst.value)
+        if bucket:
+            for entry in bucket:
+                if entry.exact_only or entry.label.matches(template):
+                    best = entry
+                    break
+        for entry in self._residual:
+            if best is not None and entry.filter_id > best.filter_id:
+                break
+            if entry.label.matches(template):
+                best = entry
+                break
+        if best is None:
+            return None, 0
+        # Packet i (nominal time now + i*interval) is blocked while the
+        # filter is live, i.e. strictly before expires_at.
+        if count == 1 or interval <= 0:
+            blocked = count
+        else:
+            blocked = math.ceil((best.expires_at - now) / interval - 1e-12)
+            if blocked < 1:
+                blocked = 1
+            elif blocked > count:
+                blocked = count
+        best.packets_blocked += blocked
+        best.bytes_blocked += blocked * template.size
+        best.last_blocked_at = now + (blocked - 1) * interval
+        self.packets_blocked += blocked
+        return best, blocked
 
     def has_filter_for(self, label: FlowLabel) -> bool:
         """True when a live filter covers ``label``."""

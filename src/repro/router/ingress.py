@@ -93,6 +93,29 @@ class IngressFilter:
             return False
         return True
 
+    def check_train(self, template: Packet, count: int, link) -> bool:
+        """Train-mode :meth:`check`: one verdict for ``count`` identical packets.
+
+        Every packet in a train carries the same claimed source, so the
+        policy decision is made once and the counters are multiplied — the
+        exact statistics a per-packet walk would have accumulated.
+        """
+        prefixes = self._allowed.get(id(link))
+        if not prefixes:
+            return True
+        stats = self.stats
+        stats.packets_checked += count
+        src_value = template.src.value
+        for prefix in prefixes:
+            if (src_value & prefix._mask) == prefix._network_value:
+                stats.packets_passed += count
+                return True
+        stats.spoofed_detected += count
+        if self.enforce:
+            stats.spoofed_dropped += count
+            return False
+        return True
+
     def validates_source(self, source: Union[str, IPAddress], link) -> bool:
         """True when ``source`` is a legitimate origin behind ``link``.
 

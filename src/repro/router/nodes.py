@@ -28,6 +28,7 @@ from typing import Callable, List, Optional, Set, Union
 from repro.net.address import IPAddress, Prefix
 from repro.net.link import Link
 from repro.net.packet import Packet, PacketKind
+from repro.net.train import PacketTrain
 from repro.router.filter_table import FilterTable
 from repro.router.ingress import IngressFilter
 from repro.router.routing import RoutingTable
@@ -172,6 +173,57 @@ class NetworkNode:
         out_link.send(packet, self)
 
     # ------------------------------------------------------------------
+    # train path (train-mode experiments only; see repro.net.train)
+    # ------------------------------------------------------------------
+    def receive_train(self, train: PacketTrain, link: Link) -> None:
+        """Entry point called by fluid links delivering an aggregated train."""
+        stats = self.stats
+        count = train.count
+        stats.packets_received += count
+        stats.bytes_received += count * train.template.size
+        if id(link) in self.disconnected_links:
+            stats.packets_dropped_disconnected += count
+            return
+        self.handle_train(train, link)
+
+    def handle_train(self, train: PacketTrain, link: Link) -> None:
+        """Dispatch an accepted train.  Subclasses refine this."""
+        if train.template.dst in self.addresses:
+            self.deliver_train_locally(train, link)
+        else:
+            self.forward_train(train, link)
+
+    def deliver_train_locally(self, train: PacketTrain, link: Optional[Link]) -> None:
+        """The train is addressed to this node (trains are always data)."""
+        stats = self.stats
+        stats.packets_delivered += train.count
+        stats.bytes_delivered += train.count * train.template.size
+
+    def forward_train(self, train: PacketTrain, incoming: Optional[Link]) -> None:
+        """Route a transit train toward its destination, count-multiplied.
+
+        The template is mutated exactly as a lone packet would be (one TTL
+        decrement per hop — every packet in a train is identical, so one
+        decrement stands for all of them).
+        """
+        stats = self.stats
+        template = train.template
+        count = train.count
+        template.ttl -= 1
+        if template.ttl <= 0:
+            stats.packets_dropped_ttl += count
+            return
+        out_link = self.routing.next_link(template.dst)
+        if out_link is None:
+            stats.packets_dropped_no_route += count
+            return
+        if id(out_link) in self.disconnected_links:
+            stats.packets_dropped_disconnected += count
+            return
+        stats.packets_forwarded += count
+        out_link.send_train(train, self)
+
+    # ------------------------------------------------------------------
     # send path
     # ------------------------------------------------------------------
     def originate_packet(self, packet: Packet) -> bool:
@@ -196,6 +248,10 @@ class Host(NetworkNode):
         super().__init__(sim, name, network)
         self.add_address(address)
         self._receive_callbacks: List[PacketCallback] = []
+        #: Parallel to ``_receive_callbacks``: an optional train-aware
+        #: variant per callback (None = replay the per-packet callback once
+        #: per packet in the train).
+        self._train_receivers: List[Optional[Callable[[PacketTrain], None]]] = []
         #: Optional outbound guard installed by the AITF host agent: a
         #: cooperative attacker stops its own undesired flows by dropping
         #: them here before they reach the access link (Section IV-D — the
@@ -203,9 +259,17 @@ class Host(NetworkNode):
         self.outbound_guard: Optional[Callable[[Packet], bool]] = None
         self.stats_outbound_suppressed = 0
 
-    def on_receive(self, callback: PacketCallback) -> None:
-        """Register an application callback invoked for every delivered data packet."""
+    def on_receive(self, callback: PacketCallback,
+                   train_callback: Optional[Callable[[PacketTrain], None]] = None) -> None:
+        """Register an application callback invoked for every delivered data packet.
+
+        ``train_callback`` is the aggregated variant used when a whole
+        :class:`~repro.net.train.PacketTrain` is delivered at once (train
+        mode).  Callbacks without one are invoked once per packet in the
+        train with the shared template — exact counts, collapsed timing.
+        """
         self._receive_callbacks.append(callback)
+        self._train_receivers.append(train_callback)
 
     def set_gateway(self, link: Link) -> None:
         """Point the default route at the access link."""
@@ -244,6 +308,40 @@ class Host(NetworkNode):
             return False
         return out_link.send(packet, self)
 
+    # ------------------------------------------------------------------
+    # train path
+    # ------------------------------------------------------------------
+    def deliver_train_locally(self, train: PacketTrain, link: Optional[Link]) -> None:
+        stats = self.stats
+        count = train.count
+        template = train.template
+        stats.packets_delivered += count
+        stats.bytes_delivered += count * template.size
+        for index, callback in enumerate(self._receive_callbacks):
+            train_callback = self._train_receivers[index]
+            if train_callback is not None:
+                train_callback(train)
+            else:
+                for _ in range(count):
+                    callback(template)
+
+    def send_train(self, train: PacketTrain) -> bool:
+        """Train-mode :meth:`send`: one guard check and one route lookup for
+        the whole train (trains are homogeneous, so both decisions are
+        per-flow, not per-packet)."""
+        template = train.template
+        count = train.count
+        if self.outbound_guard is not None and not self.outbound_guard(template):
+            self.stats_outbound_suppressed += count
+            return False
+        template.created_at = self.sim._now
+        self.stats.packets_originated += count
+        out_link = self.routing.next_link(template.dst)
+        if out_link is None or id(out_link) in self.disconnected_links:
+            self.stats.packets_dropped_no_route += count
+            return False
+        return out_link.send_train(train, self)
+
 
 class BorderRouter(NetworkNode):
     """A border router: the only kind of router that participates in AITF.
@@ -279,6 +377,9 @@ class BorderRouter(NetworkNode):
         #: (after filtering); the AITF victim-gateway agent uses this for
         #: on-off detection against its shadow cache.
         self.forward_observers: List[ForwardObserver] = []
+        #: Parallel to ``forward_observers``: optional train-aware variants
+        #: (None = call the per-packet observer once with the template).
+        self._train_forward_observers: List[Optional[Callable[[PacketTrain, Link], None]]] = []
         #: Border routers stamp the route-record shim unless disabled (the
         #: probabilistic-traceback ablation turns this off).
         self.stamp_route_record = True
@@ -304,9 +405,19 @@ class BorderRouter(NetworkNode):
         address = IPAddress.parse(address)
         return any(prefix.contains(address) for prefix in self.local_prefixes)
 
-    def add_forward_observer(self, observer: ForwardObserver) -> None:
-        """Register a hook called for every data packet about to be forwarded."""
+    def add_forward_observer(
+        self,
+        observer: ForwardObserver,
+        train_observer: Optional[Callable[[PacketTrain, Link], None]] = None,
+    ) -> None:
+        """Register a hook called for every data packet about to be forwarded.
+
+        ``train_observer`` is the aggregated variant invoked when a whole
+        packet train is forwarded (train mode); observers that do not
+        provide one are called once per train with the shared template.
+        """
         self.forward_observers.append(observer)
+        self._train_forward_observers.append(train_observer)
 
     # ------------------------------------------------------------------
     # pipeline
@@ -343,3 +454,91 @@ class BorderRouter(NetworkNode):
         for observer in self.forward_observers:
             observer(packet, link)
         self.forward_packet(packet, link)
+
+    # ------------------------------------------------------------------
+    # train pipeline
+    # ------------------------------------------------------------------
+    def handle_train(self, train: PacketTrain, link: Link) -> None:
+        """The forwarding pipeline applied to a whole train at once.
+
+        Label-level decisions (ingress policy, filter match, route) are made
+        once and multiplied by the count.  The two genuinely per-packet
+        decision points split the train instead: a filter expiring mid-train
+        blocks only the leading packets and the remainder re-enters this
+        pipeline at its own nominal time, and a router running traffic
+        conditioners (Pushback rate limiters make probabilistic, rate-paced
+        drop decisions) explodes the train back into individual packets.
+        """
+        template = train.template
+        count = train.count
+        if template.dst in self.addresses:
+            self.deliver_train_locally(train, link)
+            return
+        if self.conditioners:
+            self._explode_train(train, link)
+            return
+        if not self.ingress.check_train(template, count, link):
+            self.stats.packets_dropped_ingress += count
+            return
+        self._train_filter_stage(train, link, True)
+
+    def _train_filter_stage(self, train: PacketTrain, link: Link,
+                            first_pass: bool) -> None:
+        """Filter check onward for a (possibly re-submitted) train.
+
+        Split remainders re-enter here rather than :meth:`handle_train`:
+        ingress already passed them and their filter-table check was
+        already counted, so a re-entry must re-*decide* (a newer filter may
+        block the remainder) without re-*counting* — per-packet mode checks
+        each packet exactly once.
+        """
+        template = train.template
+        count = train.count
+        entry, blocked = self.filter_table.blocks_train(
+            template, count, train.interval, count_checked=first_pass)
+        if blocked:
+            self.stats.packets_dropped_filter += blocked
+            remaining = count - blocked
+            if remaining <= 0:
+                return
+            # Split: the filter expires mid-train.  The unblocked remainder
+            # re-arrives when its first packet is nominally due, at which
+            # point the expired filter has been purged (or a newer one
+            # blocks it again — the re-entry re-decides).
+            train.count = remaining
+            self.sim.fire_at(self.sim._now + blocked * train.interval,
+                             self._train_filter_stage, train, link, False)
+            return
+        if self.stamp_route_record:
+            record = template.route_record
+            name = self.name
+            if not record or record[-1] != name:
+                record.append(name)
+        observers = self.forward_observers
+        if observers:
+            train_observers = self._train_forward_observers
+            for index, observer in enumerate(observers):
+                train_observer = train_observers[index]
+                if train_observer is not None:
+                    train_observer(train, link)
+                else:
+                    observer(template, link)
+        self.forward_train(train, link)
+
+    def _explode_train(self, train: PacketTrain, link: Link) -> None:
+        """Fall back to per-packet processing at this router.
+
+        Each packet re-enters :meth:`handle_packet` at its nominal arrival
+        time with a replicated header (fresh id, preserved route record) and
+        continues individually from here on — correctness over speed at the
+        few routers whose decisions cannot be aggregated.
+        """
+        sim = self.sim
+        fire_at = sim.fire_at
+        handle = self.handle_packet
+        template = train.template
+        interval = train.interval
+        when = sim._now
+        for _ in range(train.count):
+            fire_at(when, handle, template.replicate(), link)
+            when += interval

@@ -145,6 +145,25 @@ class ShadowCache:
                 return entry
         return None
 
+    def match_train(self, template: Packet, count: int) -> Optional[ShadowEntry]:
+        """Train-mode :meth:`match_packet`: ``count`` identical packets at once.
+
+        A whole train either matches a shadowed label or none of it does, so
+        the lookup runs once and ``reappearances`` is advanced by the full
+        packet count — the multiply-by-count accounting the on-off resource
+        formulas read.
+        """
+        if not self._entries:
+            return None
+        now = self._clock()
+        for entry in self._entries.values():
+            if entry.is_expired(now):
+                continue
+            if entry.label.matches(template):
+                entry.reappearances += count
+                return entry
+        return None
+
     def remove(self, entry: ShadowEntry) -> bool:
         """Remove a shadow entry early.  Returns True if it was present."""
         if entry.shadow_id in self._entries:

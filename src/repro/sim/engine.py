@@ -99,8 +99,13 @@ class Simulator:
     directly comparable with simulation output.
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0,
+                 compact_min_heap: Optional[int] = None) -> None:
         self._now = float(start_time)
+        #: Heap size below which compaction never runs; overridable per
+        #: instance so cancel-heavy tests can force compactions on small heaps.
+        self._compact_min = (compact_min_heap if compact_min_heap is not None
+                             else _COMPACT_MIN_HEAP)
         # Heap entries are (time, seq, event) tuples: tuple comparison runs
         # in C and, with seq unique, never falls through to comparing events.
         self._heap: List[Tuple[float, int, Event]] = []
@@ -222,7 +227,7 @@ class Simulator:
         majority-dead so cancel-heavy runs stop leaking memory."""
         self._cancelled_in_heap += 1
         heap = self._heap
-        if (len(heap) >= _COMPACT_MIN_HEAP
+        if (len(heap) >= self._compact_min
                 and self._cancelled_in_heap * 2 >= len(heap)):
             # Rebuild in place so the run loop's local reference stays valid.
             # Fire-and-forget entries carry a bare callable (no .cancelled).

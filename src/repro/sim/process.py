@@ -17,6 +17,10 @@ instead of the full periodic-process bookkeeping.  Tick times are produced
 by the same successive-addition recurrence (``t_next = t_prev + interval``)
 as the one-event-per-tick chain, so switching a generator between the two
 classes does not move a single emission time.
+
+Train-mode experiments go one step further with :class:`TrainProcess`:
+one wakeup per *train* of up to ``max_train`` ticks, whose callback emits
+a single aggregated object for all of them (see :mod:`repro.net.train`).
 """
 
 from __future__ import annotations
@@ -290,3 +294,138 @@ class BatchedProcess:
             self.stop()
             return False
         return self._running
+
+
+class TrainProcess:
+    """A periodic process that fires *once per train*, not once per tick.
+
+    Where :class:`BatchedProcess` pre-schedules one heap entry per tick,
+    this process collapses a whole train of up to ``max_train`` ticks into
+    a single wakeup: the callback receives the number of ticks the train
+    covers and is expected to emit an aggregated object (a
+    :class:`~repro.net.train.PacketTrain`) for all of them at once.  Tick
+    *times* still follow the exact ``t += interval`` float recurrence of
+    the per-tick processes, so the set of nominal emission times — and
+    therefore the emitted packet count over any horizon — is identical to
+    what :class:`BatchedProcess` would have produced.
+
+    Two bounds clip a train before ``max_train``:
+
+    * ``horizon`` — ticks at times ``t <= horizon`` are emitted (matching
+      the event loop's "events at exactly ``until`` still fire" rule); the
+      process stops once the next tick would pass it.
+    * ``limit_until`` — an *exclusive* bound settable between phases (ticks
+      strictly before it fire), used by duty-cycled generators so a train
+      never crosses an on-phase boundary.
+
+    Stopping goes through the same generation counter as
+    :class:`BatchedProcess`; a pending wakeup from a stale generation
+    evaporates.  The one semantic difference from per-tick emission is that
+    a train already handed to the network cannot be silenced retroactively
+    — a stop takes effect at the next train boundary, which is why train
+    mode is opt-in and bounded by ``max_train``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[int], Any],
+        *,
+        start_delay: float = 0.0,
+        max_train: int = 256,
+        max_ticks: Optional[int] = None,
+        horizon: Optional[float] = None,
+        name: str = "",
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if max_train <= 0:
+            raise ValueError(f"max_train must be positive, got {max_train}")
+        self._sim = sim
+        self._interval = float(interval)
+        self._callback = callback
+        self._max_train = max_train
+        self._max_ticks = max_ticks
+        self._horizon = horizon
+        self._name = name or "train"
+        self._ticks = 0
+        self._running = False
+        self._start_delay = float(start_delay)
+        self._gen = 0
+        #: Exclusive time bound for the current phase (None = unbounded).
+        self.limit_until: Optional[float] = None
+
+    @property
+    def ticks(self) -> int:
+        """Number of ticks emitted so far (summed over trains)."""
+        return self._ticks
+
+    @property
+    def running(self) -> bool:
+        """True while the process is scheduled to keep firing."""
+        return self._running
+
+    @property
+    def interval(self) -> float:
+        """Seconds between consecutive ticks inside a train."""
+        return self._interval
+
+    def set_interval(self, interval: float) -> None:
+        """Change the tick period; takes effect at the next train."""
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self._interval = float(interval)
+
+    def start(self) -> None:
+        """Begin firing.  The first train starts after ``start_delay`` seconds."""
+        if self._running:
+            return
+        self._running = True
+        self._gen += 1
+        self._sim.schedule_fire(self._start_delay, self._wakeup, self._gen)
+
+    def stop(self) -> None:
+        """Stop firing from the next train boundary on."""
+        self._running = False
+        self._gen += 1
+
+    def _wakeup(self, gen: int) -> None:
+        if gen != self._gen or not self._running:
+            return
+        sim = self._sim
+        interval = self._interval
+        horizon = self._horizon
+        limit = self.limit_until
+        cap = self._max_train
+        if self._max_ticks is not None:
+            remaining = self._max_ticks - self._ticks
+            if remaining < cap:
+                cap = remaining
+        # Walk the exact per-tick float recurrence to size this train; the
+        # loop is pure arithmetic (no events), so a train of n ticks costs
+        # n float additions instead of n heap entries.
+        count = 0
+        when = sim._now
+        while count < cap:
+            if horizon is not None and when > horizon:
+                break
+            if limit is not None and when >= limit:
+                break
+            count += 1
+            when += interval
+        if count == 0:
+            self.stop()
+            return
+        self._ticks += count
+        if self._callback(count) is False:
+            self.stop()
+            return
+        if self._max_ticks is not None and self._ticks >= self._max_ticks:
+            self.stop()
+            return
+        if horizon is not None and when > horizon:
+            self.stop()
+            return
+        if self._running:
+            sim.fire_at(when, self._wakeup, gen)

@@ -122,14 +122,22 @@ class Topology:
         every node's own addresses (/32) plus every declared local prefix,
         with next hops taken from networkx shortest paths weighted by link
         delay.
+
+        Shortest paths are computed per *router* (hosts only ever need their
+        default route), not all-pairs: on host-heavy fleet topologies the
+        all-pairs sweep spent most of its time on sources whose results were
+        thrown away.  ``all_pairs_dijkstra_path`` is itself one
+        ``single_source_dijkstra_path`` per node, so the per-router paths —
+        and every installed route — are bit-identical to the old sweep.
         """
         destinations = self._destination_prefixes()
-        paths = dict(nx.all_pairs_dijkstra_path(self.graph, weight="delay"))
+        graph = self.graph
         for node in self.nodes.values():
             if isinstance(node, Host):
                 self._install_host_default(node)
                 continue
-            node_paths = paths.get(node.name, {})
+            node_paths = nx.single_source_dijkstra_path(graph, node.name,
+                                                        weight="delay")
             for target_name, prefixes in destinations.items():
                 if target_name == node.name:
                     continue

@@ -202,3 +202,36 @@ class TestLink:
         sim.run(until=1.0)
         stats = link.stats_toward(b)
         assert 0.0 < stats.utilization(1.0, link.bandwidth_bps) <= 1.0
+
+
+class TestFlushAccountingUnderTraffic:
+    """clear() mid-simulation: the PR-1 flush-accounting fix must hold when
+    the queue is flushed between enqueues and drains, not just in isolation."""
+
+    def test_flush_between_enqueues_keeps_conservation(self):
+        queue = DropTailQueue(capacity_bytes=3000)
+        accepted = 0
+        for _ in range(5):  # 3 fit, 2 tail-dropped
+            if queue.enqueue(make_packet(1000)):
+                accepted += 1
+        assert accepted == 3
+        queue.dequeue()
+        flushed = queue.clear()
+        assert flushed == 2
+        stats = queue.stats
+        # Every offered packet is exactly one of: dequeued, dropped, flushed.
+        assert stats.enqueued + stats.dropped == 5
+        assert stats.dequeued + stats.dropped + stats.flushed == 5
+        assert stats.bytes_lost == stats.bytes_dropped + stats.bytes_flushed
+        # The tail-drop rate never counts flushed packets in its numerator.
+        assert stats.drop_rate == pytest.approx(2 / 5)
+
+    def test_queue_reusable_after_flush(self):
+        queue = DropTailQueue(capacity_bytes=2500)
+        queue.enqueue(make_packet(1000))
+        queue.enqueue(make_packet(1000))
+        queue.clear()
+        assert queue.enqueue(make_packet(2500)) is True
+        assert queue.bytes_queued == 2500
+        assert queue.stats.flushed == 2
+        assert queue.stats.enqueued == 3

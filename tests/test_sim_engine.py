@@ -179,3 +179,46 @@ class TestEventRepr:
         assert "my-event" in repr(event)
         event.cancel()
         assert "cancelled" in repr(event)
+
+
+class TestCompactionResultEquivalence:
+    """A cancel-heavy run that triggers heap compaction must produce results
+    identical to the same schedule on a simulator that never compacts."""
+
+    def _cancel_heavy_run(self, compact_min_heap=None):
+        sim = (Simulator() if compact_min_heap is None
+               else Simulator(compact_min_heap=compact_min_heap))
+        fired = []
+        events = []
+        # Interleave survivors and victims across a wide time range, then
+        # cancel in waves so the cancelled majority trips the threshold
+        # repeatedly while live events remain buried in the heap.
+        for i in range(600):
+            events.append(sim.schedule(1.0 + (i % 97) * 0.01 + i * 1e-6,
+                                       fired.append, i))
+        for wave in range(3):
+            for event in events[wave * 150:(wave + 1) * 150]:
+                event.cancel()
+        sim.run()
+        return sim, fired
+
+    def test_cancel_heavy_run_compacts_at_least_once(self):
+        sim, _ = self._cancel_heavy_run()
+        assert sim.heap_compactions >= 1
+
+    def test_compacting_and_non_compacting_runs_agree_exactly(self):
+        compacting, fired = self._cancel_heavy_run()
+        # A threshold above the heap size disables compaction entirely.
+        inert, expected = self._cancel_heavy_run(compact_min_heap=10_000)
+        assert compacting.heap_compactions >= 1
+        assert inert.heap_compactions == 0
+        assert fired == expected
+        assert compacting.events_processed == inert.events_processed
+        assert compacting.now == inert.now
+
+    def test_instance_threshold_overrides_module_default(self):
+        sim = Simulator(compact_min_heap=4)
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(8)]
+        for event in events[:6]:
+            event.cancel()
+        assert sim.heap_compactions >= 1
