@@ -71,6 +71,7 @@ class FloodAttack:
         batch_size: int = 64,
         train_mode: bool = False,
         max_train: int = 256,
+        max_span: Optional[float] = None,
         horizon: Optional[float] = None,
     ) -> None:
         if rate_pps <= 0:
@@ -97,6 +98,7 @@ class FloodAttack:
                 callback=self._emit_train,
                 start_delay=start_time,
                 max_train=max_train,
+                max_span=max_span,
                 horizon=horizon,
                 name=f"flood-{attacker.name}",
             )

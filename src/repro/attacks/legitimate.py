@@ -50,6 +50,7 @@ class LegitimateTraffic:
         duration: Optional[float] = None,
         train_mode: bool = False,
         max_train: int = 256,
+        max_span: Optional[float] = None,
         horizon: Optional[float] = None,
     ) -> None:
         if rate_pps <= 0:
@@ -76,7 +77,8 @@ class LegitimateTraffic:
         if train_mode and self.supports_trains:
             self._process = TrainProcess(
                 sender.sim, self._interval, self._emit_train,
-                start_delay=start_time, max_train=max_train, horizon=horizon,
+                start_delay=start_time, max_train=max_train,
+                max_span=max_span, horizon=horizon,
                 name=f"legit-{sender.name}",
             )
             if duration is not None:

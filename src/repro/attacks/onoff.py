@@ -49,6 +49,7 @@ class OnOffAttack:
         protocol: str = Protocol.UDP.value,
         train_mode: bool = False,
         max_train: int = 256,
+        max_span: Optional[float] = None,
         horizon: Optional[float] = None,
     ) -> None:
         if rate_pps <= 0:
@@ -75,7 +76,7 @@ class OnOffAttack:
         if train_mode:
             self._emitter = TrainProcess(
                 attacker.sim, self._interval, self._emit_train,
-                max_train=max_train, horizon=horizon,
+                max_train=max_train, max_span=max_span, horizon=horizon,
                 name=f"onoff-{attacker.name}",
             )
         else:

@@ -36,6 +36,7 @@ class ZombieArmy:
         rng: Optional[SeededRandom] = None,
         train_mode: bool = False,
         max_train: int = 256,
+        max_span: Optional[float] = None,
         horizon: Optional[float] = None,
     ) -> None:
         if not zombies:
@@ -56,6 +57,7 @@ class ZombieArmy:
                 # own (SpoofedFloodAttack.supports_trains is False).
                 train_mode=train_mode,
                 max_train=max_train,
+                max_span=max_span,
                 horizon=horizon,
             )
             if spoofed:

@@ -79,6 +79,39 @@ def _parse_assignment(text: str) -> tuple:
     return path.strip(), raw
 
 
+def _parse_fault(text: str) -> Dict[str, Any]:
+    """``KIND@TIME:TARGET`` -> one fault-spec dict.
+
+    ``TARGET`` containing a ``-`` names a link by its two endpoints
+    (``T1-B_gw``); otherwise it names a router.  ``TIME`` is either a
+    number or ``A..B`` for a seed-derived draw inside that window:
+
+        link_down@4.0:T1-B_gw      router_crash@2..6:T1
+    """
+    kind, at, rest = text.partition("@")
+    when, colon, target = rest.partition(":")
+    kind, when, target = kind.strip(), when.strip(), target.strip()
+    if not at or not colon or not kind or not when or not target:
+        raise argparse.ArgumentTypeError(
+            f"expected KIND@TIME:TARGET (e.g. link_down@4.0:T1-B_gw "
+            f"or router_crash@2..6:T1), got {text!r}")
+    fault: Dict[str, Any] = {"kind": kind}
+    try:
+        if ".." in when:
+            start, _, end = when.partition("..")
+            fault["window"] = [float(start), float(end)]
+        else:
+            fault["time"] = float(when)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"fault time must be a number or A..B window, got {when!r}")
+    if "-" in target:
+        fault["link"] = [part.strip() for part in target.split("-", 1)]
+    else:
+        fault["node"] = target
+    return fault
+
+
 def _base_spec(args: argparse.Namespace) -> ExperimentSpec:
     """The spec behind ``run``/``compare``/``sweep``: a file, or the canonical
     flood experiment built from the convenience flags."""
@@ -102,6 +135,8 @@ def _base_spec(args: argparse.Namespace) -> ExperimentSpec:
         overrides["seed"] = args.seed
     for path, raw in getattr(args, "set", None) or []:
         overrides[path] = _parse_value(raw)
+    if getattr(args, "fault", None):
+        overrides["faults"] = list(args.fault)
     return spec.with_overrides(overrides) if overrides else spec
 
 
@@ -232,6 +267,8 @@ def run_sweep(args: argparse.Namespace) -> int:
             overrides["seed"] = args.seed
         for path, raw in args.set or []:
             overrides[path] = _parse_value(raw)
+        if args.fault:
+            overrides["faults"] = list(args.fault)
         if overrides:
             base = base.with_overrides(overrides)
         reseed = request.reseed and not args.no_reseed
@@ -663,6 +700,13 @@ def _add_spec_flags(parser: argparse.ArgumentParser, *,
                         metavar="PATH=VALUE", default=[],
                         help="override any spec field by dotted path "
                              "(e.g. --set defense.params.limit_bps=2e6)")
+    parser.add_argument("--fault", action="append", type=_parse_fault,
+                        metavar="KIND@TIME:TARGET", default=[],
+                        help="inject a fault event; repeatable "
+                             "(e.g. --fault link_down@4.0:T1-B_gw "
+                             "--fault link_up@8.0:T1-B_gw; "
+                             "TARGET with a dash is a link, otherwise a "
+                             "router; TIME may be A..B for a seeded window)")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -156,14 +156,29 @@ class ExplicitDetector:
 
     Deterministic benchmarks use this to remove detection noise: the
     detection delay Td is applied verbatim, with no rate estimation.
+
+    ``redetect_gap`` (opt-in, used by the fault-injection experiments) arms
+    re-detection: when a flow this detector already reported is delivered
+    again after at least that many seconds of silence — it had been
+    successfully suppressed and is back, so the installed filters no longer
+    sit on its path — the detector re-requests filtering after Td with the
+    reappearing packet's fresh route record, forcing past the host agent's
+    outstanding-request dedup.
+    Left at None, behavior is unchanged: one report per flow, ever.
     """
 
-    def __init__(self, agent: HostAgent, *, detection_delay: float = 0.0) -> None:
+    def __init__(self, agent: HostAgent, *, detection_delay: float = 0.0,
+                 redetect_gap: Optional[float] = None) -> None:
+        if redetect_gap is not None and redetect_gap <= 0:
+            raise ValueError("redetect_gap must be positive when set")
         self.agent = agent
         self.detection_delay = detection_delay
+        self.redetect_gap = redetect_gap
         self._undesired_sources: Set[IPAddress] = set()
         self._reported: Set[Tuple[int, int]] = set()
+        self._last_seen: Dict[Tuple[int, int], float] = {}
         self.detections = 0
+        self.redetections = 0
 
         agent.host.on_receive(self.observe, train_callback=self.observe_train)
 
@@ -181,7 +196,26 @@ class ExplicitDetector:
             return
         key = (packet.src.value, packet.dst.value)
         label = FlowLabel.between(packet.src, packet.dst)
+        now = self.agent.host.sim.now
+        last_seen = self._last_seen.get(key)
+        self._last_seen[key] = now
         if key in self._reported and self.agent.wants_blocked(label):
+            if (self.redetect_gap is None or last_seen is None
+                    or now - last_seen < self.redetect_gap):
+                return
+            # The flow had gone quiet (the defense was working) and is
+            # being delivered again: re-request along its current path.
+            # Td applies here too — the victim's detector models IDS /
+            # operator latency, unlike the gateway's DRAM shadow match.
+            self.detections += 1
+            self.redetections += 1
+            path = packet.recorded_path
+            if self.detection_delay > 0:
+                self.agent.host.sim.schedule(
+                    self.detection_delay, self.agent.request_filtering, label,
+                    attack_path=path, force=True, name="explicit-redetection")
+            else:
+                self.agent.request_filtering(label, attack_path=path, force=True)
             return
         self._reported.add(key)
         self.detections += 1

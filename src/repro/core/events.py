@@ -36,6 +36,10 @@ class EventType(str, enum.Enum):
     ESCALATION = "escalation"
     FLOW_STOPPED = "flow_stopped"
     DISCONNECTION = "disconnection"
+    #: A shadow-cache hit arrived over a different border-router path than
+    #: the one the filtering request recorded — route churn moved the flow,
+    #: and the victim's gateway re-targeted its propagation (fault runs).
+    PATH_CHANGED = "path_changed"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

@@ -387,7 +387,7 @@ class GatewayAgent:
         """Forward-path hook: catch on-off flows against the shadow cache."""
         entry = self.shadow_cache.match_packet(packet)
         if entry is not None:
-            self._on_shadow_hit(entry)
+            self._on_shadow_hit(entry, packet)
 
     def _observe_forwarded_train(self, train, link: Link) -> None:
         """Train-mode forward hook: one shadow lookup for a whole train.
@@ -401,9 +401,10 @@ class GatewayAgent:
         """
         entry = self.shadow_cache.match_train(train.template, train.count)
         if entry is not None:
-            self._on_shadow_hit(entry)
+            self._on_shadow_hit(entry, train.template)
 
-    def _on_shadow_hit(self, entry: ShadowEntry) -> None:
+    def _on_shadow_hit(self, entry: ShadowEntry,
+                       packet: Optional[Packet] = None) -> None:
         request_id = self._victim_by_label.get(entry.label)
         if request_id is None:
             return
@@ -413,12 +414,63 @@ class GatewayAgent:
         now = self.sim.now
         self.log.record(now, EventType.SHADOW_HIT, self.name, request_id,
                         round=state.current_round)
+        if packet is not None and self._refresh_attack_path(state, packet):
+            # The flow reappeared over a *different* border-router path —
+            # route churn moved it, not an on-off attacker.  The recorded
+            # path names a gateway that never saw a filtering request, so
+            # re-protect the victim and re-propagate to the new attacker's
+            # gateway instead of escalating along the stale path.
+            self._install_temporary_filter(state)
+            self._propagate_to_attacker_gateway(state)
+            return
         # Re-protect the victim immediately — detection of a reappearing flow
         # is just a DRAM lookup (Section IV-A.1, footnote 8) — and escalate,
         # because the flow coming back proves the attacker-side gateway of the
         # current round reneged.
         self._install_temporary_filter(state)
         self._escalate(state)
+
+    def _refresh_attack_path(self, state: VictimGatewayState,
+                             packet: Packet) -> bool:
+        """Reconcile the stored attack path with the packet's route record.
+
+        Returns True (and rewrites ``state.attack_path``) only when the
+        shim carried by the reappearing flow genuinely disagrees with the
+        stored path.  A route record that is a *prefix* of the stored path
+        is consistent, not a change: an escalated mid-path gateway always
+        sees a truncated record (the path beyond itself was recorded by
+        the original victim's gateway, not by the packet in hand).
+        """
+        recorded = tuple(packet.route_record)
+        if not recorded or not state.attack_path:
+            return False
+        if recorded[-1] != self.name:
+            # Partial stamping (route-record ablation) — nothing to compare.
+            return False
+        if recorded == state.attack_path[:len(recorded)]:
+            return False
+        # Splice: the record replaces the attacker-side portion of the path
+        # up to this gateway; anything beyond us (recorded earlier, closer
+        # to the victim) is untouched by the reroute we just witnessed.
+        try:
+            index = state.attack_path.index(self.name)
+        except ValueError:
+            index = len(state.attack_path) - 1
+        new_path = recorded + state.attack_path[index + 1:]
+        old_path = state.attack_path
+        state.attack_path = new_path
+        state.current_round = min(state.current_round, len(new_path))
+        # The new path's gateways never reneged on anything: clear the
+        # give-up/escalation history so the protocol restarts cleanly
+        # against the gateways that now actually carry the flow.
+        state.gave_up = False
+        state.escalations = 0
+        state.last_escalation_at = self.sim.now
+        self.log.record(self.sim.now, EventType.PATH_CHANGED, self.name,
+                        state.request.request_id,
+                        old_path=old_path, new_path=new_path,
+                        round=state.current_round)
+        return True
 
     def _escalate(self, state: VictimGatewayState) -> None:
         if not self.config.escalation_enabled or state.gave_up:

@@ -92,8 +92,14 @@ class HostAgent:
         attack_path: Tuple[str, ...] = (),
         timeout: Optional[float] = None,
         sample_packet: Optional[Packet] = None,
+        force: bool = False,
     ) -> Optional[FilteringRequest]:
         """Ask the gateway to block ``label`` for T seconds.
+
+        ``force`` bypasses the outstanding-request dedup: a re-detection
+        after route churn must be able to re-request even though the host
+        still believes an earlier request is in force (the filters it
+        produced no longer sit on the flow's path).
 
         ``attack_path`` should list the border routers recorded on the attack
         packets (attacker's gateway first); when a ``sample_packet`` is given
@@ -107,7 +113,7 @@ class HostAgent:
         expiry = self.wanted_blocks.get(label)
         already_outstanding = expiry is not None and expiry > now
         self.wanted_blocks[label] = now + timeout
-        if already_outstanding:
+        if already_outstanding and not force:
             return None
         if not attack_path and sample_packet is not None:
             # The shim records attacker-side routers first already.

@@ -65,7 +65,10 @@ class AITFBackend(DefenseBackend):
 
     Params: ``non_cooperating`` (node names that ignore AITF),
     ``disconnection_enabled``, ``shadow_enabled`` (ablate the victim
-    gateway's DRAM shadow cache), ``cooperative`` (initial flag for all).
+    gateway's DRAM shadow cache), ``cooperative`` (initial flag for all),
+    ``redetect_gap`` (seconds of silence after which a reappearing
+    undesired flow is re-reported along its fresh path — opt-in, for the
+    fault-injection experiments).
     """
 
     name = "aitf"
@@ -94,8 +97,10 @@ class AITFBackend(DefenseBackend):
             gateway_agent.shadow_cache.clear()
             gateway_agent.config = ctx.config.with_overrides(shadow_timeout=1e-3)
         victim_agent = self.deployment.host_agent(ctx.handle.victim.name)
-        self.detector = ExplicitDetector(victim_agent,
-                                         detection_delay=ctx.spec.detection_delay)
+        redetect_gap = self.params.get("redetect_gap")
+        self.detector = ExplicitDetector(
+            victim_agent, detection_delay=ctx.spec.detection_delay,
+            redetect_gap=float(redetect_gap) if redetect_gap is not None else None)
 
     def arm(self, ctx: Any) -> None:
         assert self.deployment is not None and self.detector is not None

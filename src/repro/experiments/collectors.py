@@ -246,6 +246,134 @@ def _build_paper_formulas(ctx: Any, index: int,
     return _PaperFormulas(params, float(rate))
 
 
+class _ChurnMetrics(MetricCollector):
+    kind = "churn"
+
+    def __init__(self, params: Mapping[str, Any]) -> None:
+        super().__init__(params)
+        #: Attack rate at the victim above this counts as "re-flooded".
+        self.reflood_threshold_bps = float(
+            self.params.get("reflood_threshold_bps", 1e5))
+        #: Goodput counts as recovered at this fraction of its pre-fault mean.
+        self.recovery_fraction = float(self.params.get("recovery_fraction", 0.9))
+        #: Pre-fault window used to establish the goodput baseline.
+        self.baseline_seconds = float(self.params.get("baseline_seconds", 1.0))
+
+    @staticmethod
+    def _merged_series(series_list) -> Dict[float, float]:
+        merged: Dict[float, float] = {}
+        for series in series_list:
+            for time, value in zip(series.times, series.values):
+                merged[time] = merged.get(time, 0.0) + value
+        return merged
+
+    def collect(self, ctx: Any) -> Dict[str, Any]:
+        injector = getattr(ctx, "fault_injector", None)
+        result: Dict[str, Any] = {
+            "kind": self.kind,
+            "reflood_threshold_bps": self.reflood_threshold_bps,
+            "fault_count": 0,
+            "events": [],
+            "timeline": [],
+            "total_reflood_seconds": 0.0,
+            "max_goodput_dip_bps": 0.0,
+            "worst_recovery_seconds": None,
+            "filters_reestablished_total": 0,
+            "path_changes": 0,
+        }
+        if injector is None or not injector.timeline:
+            return result
+
+        attack = self._merged_series(
+            [m.rate_series() for m in ctx.attack_meters])
+        goodput = self._merged_series([ctx.goodput_meter.goodput_series()])
+        log = getattr(getattr(ctx.backend, "deployment", None), "event_log", None)
+        duration = ctx.spec.duration
+
+        timeline = sorted(injector.timeline, key=lambda r: r["time"])
+        result["timeline"] = [dict(r) for r in timeline]
+        result["fault_count"] = len(timeline)
+        if log is not None:
+            result["path_changes"] = log.count(EventType.PATH_CHANGED)
+
+        bucket = ctx.goodput_meter.bucket_seconds
+        for index, record in enumerate(timeline):
+            t0 = record["time"]
+            t1 = timeline[index + 1]["time"] if index + 1 < len(timeline) \
+                else duration
+
+            # Re-flood window: attack traffic back above threshold at the
+            # victim between this event and the next.
+            reflood = sum(
+                bucket for time, bps in attack.items()
+                if t0 <= time < t1 and bps >= self.reflood_threshold_bps)
+
+            # Goodput dip and recovery, against the pre-fault baseline.
+            baseline_values = [bps for time, bps in goodput.items()
+                               if t0 - self.baseline_seconds <= time < t0]
+            baseline = (sum(baseline_values) / len(baseline_values)
+                        if baseline_values else 0.0)
+            window = sorted((time, bps) for time, bps in goodput.items()
+                            if t0 <= time < t1)
+            dip = max((baseline - bps for _, bps in window), default=0.0)
+            dip = max(dip, 0.0)
+            recovery = None
+            if baseline > 0.0 and dip > 0.0:
+                target = self.recovery_fraction * baseline
+                dipped = False
+                for time, bps in window:
+                    if not dipped and bps < target:
+                        dipped = True
+                    elif dipped and bps >= target:
+                        recovery = time - t0
+                        break
+                if not dipped:
+                    recovery = 0.0
+
+            # Defense reaction: filters (re-)established after this event.
+            filters_after = 0
+            if log is not None:
+                filters_after = sum(
+                    1 for e in log
+                    if e.event_type in (EventType.TEMP_FILTER_INSTALLED,
+                                        EventType.FILTER_INSTALLED)
+                    and t0 <= e.time < t1)
+
+            result["events"].append({
+                "time": t0,
+                "kind": record["kind"],
+                "target": record["target"],
+                "reflood_seconds": reflood,
+                "goodput_baseline_bps": baseline,
+                "goodput_dip_bps": dip,
+                "recovery_seconds": recovery,
+                "filters_reestablished": filters_after,
+            })
+            result["total_reflood_seconds"] += reflood
+            result["max_goodput_dip_bps"] = max(result["max_goodput_dip_bps"],
+                                                dip)
+            result["filters_reestablished_total"] += filters_after
+            if recovery is not None:
+                worst = result["worst_recovery_seconds"]
+                result["worst_recovery_seconds"] = (
+                    recovery if worst is None else max(worst, recovery))
+        return result
+
+
+@COLLECTORS.register("churn")
+def _build_churn(ctx: Any, index: int,
+                 params: Mapping[str, Any]) -> MetricCollector:
+    """Route-churn metrics for fault runs: per fault event, the re-flood
+    window (seconds the attack was back above ``reflood_threshold_bps`` at
+    the victim), the goodput dip depth against the pre-fault baseline, the
+    recovery time (goodput back above ``recovery_fraction`` x baseline), and
+    how many filters the defense (re-)established; plus the injector's
+    timeline with per-event incremental-rerouting costs.  Works with any
+    backend (filter counts need ``aitf``); reports zeros when the spec has
+    no faults."""
+    return _ChurnMetrics(params)
+
+
 def build_collector(ctx: Any, index: int, kind: str,
                     params: Mapping[str, Any]) -> MetricCollector:
     """Resolve ``kind`` in the registry and build the collector."""

@@ -114,6 +114,15 @@ class ExperimentExecution:
             seen_ids.add(collector.id)
             self.collectors.append(collector)
 
+        # Fault injector (None for the overwhelmingly common fault-free
+        # spec, which therefore pays nothing).  Built after the defense so
+        # router crashes can wipe deployed agent state, started in run()
+        # before the workloads so a fault at time t beats traffic at time t.
+        from repro.faults import FaultInjector
+        self.fault_injector = FaultInjector.from_spec(
+            spec, self.handle.topology,
+            deployment=getattr(self.backend, "deployment", None))
+
         # Meters: one flow/tag meter per attack workload, one goodput meter,
         # and (optionally) occupancy samplers at both gateways.
         victim = self.handle.victim
@@ -177,6 +186,8 @@ class ExperimentExecution:
         """Run the simulation to ``until`` (default: the spec's duration)."""
         duration = until if until is not None else self.spec.duration
         if self._ran_until is None:
+            if self.fault_injector is not None:
+                self.fault_injector.start()
             for workload in self.workloads:
                 workload.start()
             for collector in self.collectors:

@@ -101,6 +101,85 @@ class CollectorSpec:
         return cls(kind=data["kind"], params=_params_dict(data.get("params")))
 
 
+#: Fault kinds a spec may schedule.
+FAULT_KINDS = ("link_down", "link_up", "router_crash", "router_recover")
+
+
+@dataclass
+class FaultSpec:
+    """One scheduled fault event (fault injection / route churn).
+
+    ``kind`` selects what happens; the target is a ``link`` (two endpoint
+    node names) for the link kinds or a ``node`` name for the router kinds.
+    The event fires at ``time`` seconds, or — when ``window`` = ``[a, b]``
+    is given instead — at a seed-derived uniform draw inside the window
+    (drawn from an independent stream keyed on the experiment seed, so fault
+    timing never perturbs workload randomness).
+    """
+
+    kind: str = "link_down"
+    time: Optional[float] = None
+    window: Optional[Tuple[float, float]] = None
+    link: Optional[Tuple[str, str]] = None
+    node: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} "
+                             f"(choose from {', '.join(FAULT_KINDS)})")
+        if (self.time is None) == (self.window is None):
+            raise ValueError(f"fault {self.kind!r} needs exactly one of "
+                             f"'time' or 'window'")
+        if self.time is not None:
+            self.time = float(self.time)
+            if self.time < 0:
+                raise ValueError(f"fault time must be >= 0, got {self.time}")
+        if self.window is not None:
+            window = tuple(float(t) for t in self.window)
+            if len(window) != 2 or not 0 <= window[0] < window[1]:
+                raise ValueError(f"fault window must be [a, b] with "
+                                 f"0 <= a < b, got {list(self.window)}")
+            self.window = window
+        link_kind = self.kind in ("link_down", "link_up")
+        if link_kind:
+            if self.link is None or self.node is not None:
+                raise ValueError(f"fault {self.kind!r} targets a 'link' "
+                                 f"(two node names), not a 'node'")
+            link = tuple(str(n) for n in self.link)
+            if len(link) != 2:
+                raise ValueError(f"fault link must name two endpoints, "
+                                 f"got {list(self.link)}")
+            self.link = link
+        else:
+            if self.node is None or self.link is not None:
+                raise ValueError(f"fault {self.kind!r} targets a 'node', "
+                                 f"not a 'link'")
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"kind": self.kind}
+        if self.time is not None:
+            data["time"] = self.time
+        if self.window is not None:
+            data["window"] = list(self.window)
+        if self.link is not None:
+            data["link"] = list(self.link)
+        if self.node is not None:
+            data["node"] = self.node
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        _reject_unknown_keys(data, {"kind", "time", "window", "link", "node"},
+                             "fault")
+        if "kind" not in data:
+            raise ValueError("fault spec requires a 'kind'")
+        return cls(kind=data["kind"],
+                   time=data.get("time"),
+                   window=data.get("window"),
+                   link=data.get("link"),
+                   node=data.get("node"))
+
+
 #: Engine modes a spec may select.
 ENGINE_MODES = ("packet", "train")
 
@@ -119,6 +198,12 @@ class EngineSpec:
 
     mode: str = "packet"
     max_train: int = 256
+    #: Optional upper bound (seconds) on the time a single train may span,
+    #: alongside the packet-count bound.  Fault-injection runs use it so no
+    #: train straddles a long interval a fault could land inside.  ``None``
+    #: (the default) is omitted from the serialized form, keeping spec
+    #: hashes of existing experiments unchanged.
+    max_span: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.mode not in ENGINE_MODES:
@@ -126,15 +211,23 @@ class EngineSpec:
                              f"(choose from {', '.join(ENGINE_MODES)})")
         if self.max_train < 1:
             raise ValueError(f"max_train must be >= 1, got {self.max_train}")
+        if self.max_span is not None:
+            self.max_span = float(self.max_span)
+            if self.max_span <= 0:
+                raise ValueError(f"max_span must be positive, got {self.max_span}")
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"mode": self.mode, "max_train": self.max_train}
+        data: Dict[str, Any] = {"mode": self.mode, "max_train": self.max_train}
+        if self.max_span is not None:
+            data["max_span"] = self.max_span
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "EngineSpec":
-        _reject_unknown_keys(data, {"mode", "max_train"}, "engine")
+        _reject_unknown_keys(data, {"mode", "max_train", "max_span"}, "engine")
         return cls(mode=data.get("mode", "packet"),
-                   max_train=int(data.get("max_train", 256)))
+                   max_train=int(data.get("max_train", 256)),
+                   max_span=data.get("max_span"))
 
 
 @dataclass
@@ -167,6 +260,11 @@ class ExperimentSpec:
         Execution engine selection (:class:`EngineSpec`): the exact
         per-packet default, or opt-in packet-train aggregation for
         fleet-scale scenarios.
+    faults:
+        Schedule of :class:`FaultSpec` events (link failures/recoveries,
+        router crashes) executed by :mod:`repro.faults`.  Empty (the
+        default) is omitted from the serialized form, so specs without
+        faults hash exactly as before and pay no fault-machinery cost.
     sample_occupancy:
         Attach filter-table occupancy samplers at the victim's and
         attacker's gateways (the flood experiments want this; pure
@@ -183,11 +281,13 @@ class ExperimentSpec:
     duration: float = 10.0
     seed: int = 0
     engine: EngineSpec = field(default_factory=EngineSpec)
+    faults: Tuple[FaultSpec, ...] = ()
     sample_occupancy: bool = True
 
     def __post_init__(self) -> None:
         self.workloads = tuple(self.workloads)
         self.collectors = tuple(self.collectors)
+        self.faults = tuple(self.faults)
         if self.duration <= 0:
             raise ValueError("duration must be positive")
         if self.detection_delay < 0:
@@ -197,8 +297,14 @@ class ExperimentSpec:
     # serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-data form, including the schema tag."""
-        return {
+        """Plain-data form, including the schema tag.
+
+        ``faults`` appears only when non-empty: fault-free specs serialize
+        (and therefore hash) exactly as they did before fault injection
+        existed, which keeps the cluster cell cache and every golden
+        determinism value valid.
+        """
+        data = {
             "schema": SPEC_SCHEMA,
             "name": self.name,
             "topology": self.topology.to_dict(),
@@ -212,6 +318,9 @@ class ExperimentSpec:
             "engine": self.engine.to_dict(),
             "sample_occupancy": self.sample_occupancy,
         }
+        if self.faults:
+            data["faults"] = [f.to_dict() for f in self.faults]
+        return data
 
     def to_json(self, *, indent: int = 2) -> str:
         """The spec as a JSON document."""
@@ -227,7 +336,7 @@ class ExperimentSpec:
             )
         known = {"schema", "name", "topology", "defense", "workloads",
                  "collectors", "aitf", "detection_delay", "duration", "seed",
-                 "engine", "sample_occupancy"}
+                 "engine", "faults", "sample_occupancy"}
         _reject_unknown_keys(data, known, "experiment")
         return cls(
             name=data.get("name", "experiment"),
@@ -242,6 +351,8 @@ class ExperimentSpec:
             duration=float(data.get("duration", 10.0)),
             seed=int(data.get("seed", 0)),
             engine=EngineSpec.from_dict(data.get("engine", {})),
+            faults=tuple(FaultSpec.from_dict(f)
+                         for f in data.get("faults", [])),
             sample_occupancy=bool(data.get("sample_occupancy", True)),
         )
 

@@ -131,6 +131,26 @@ def _build_tree_handle(params: Mapping[str, Any]) -> TopologyHandle:
     )
 
 
+@TOPOLOGIES.register("failover")
+def _build_failover_handle(params: Mapping[str, Any]) -> TopologyHandle:
+    """The dual-transit fault-injection topology: the attack path runs
+    ``B_gw -> T1 -> G_gw`` until a fault removes the primary transit, at
+    which point traffic fails over to ``T2``.  Params pass through to
+    :func:`repro.topology.failover.build_failover`."""
+    from repro.topology.failover import build_failover
+
+    failover = build_failover(**dict(params))
+    return TopologyHandle(
+        kind="failover",
+        topology=failover.topology,
+        victim=failover.g_host,
+        victim_gateway=failover.g_gw,
+        attackers=(failover.b_host,),
+        legit_senders=(failover.l_host,),
+        raw=failover,
+    )
+
+
 @TOPOLOGIES.register("powerlaw")
 def _build_powerlaw_handle(params: Mapping[str, Any]) -> TopologyHandle:
     """A Barabási–Albert AS internet.  Host roles are assigned

@@ -103,8 +103,11 @@ def _train_kwargs(ctx: Any) -> Dict[str, Any]:
     engine = getattr(ctx, "engine", None)
     if engine is None or engine.mode != "train":
         return {}
-    return {"train_mode": True, "max_train": engine.max_train,
-            "horizon": ctx.spec.duration}
+    kwargs = {"train_mode": True, "max_train": engine.max_train,
+              "horizon": ctx.spec.duration}
+    if engine.max_span is not None:
+        kwargs["max_span"] = engine.max_span
+    return kwargs
 
 
 @WORKLOADS.register("flood")

@@ -13,6 +13,7 @@ attack (experiment E11) rely on nothing more than these pipes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional, Protocol as TypingProtocol
 
@@ -39,6 +40,10 @@ class LinkStats:
     packets_sent: int = 0
     packets_delivered: int = 0
     packets_dropped: int = 0
+    #: Subset of ``packets_dropped`` lost to the link being administratively
+    #: down (fault injection): sends while down plus queued packets flushed
+    #: at the moment the link failed.
+    packets_dropped_down: int = 0
     bytes_delivered: int = 0
     busy_time: float = 0.0
 
@@ -92,6 +97,15 @@ class _Pipe:
         self._fl_rate = 0.0   # offered inflow from active trains, bytes/sec
         self._fl_q = 0.0      # fluid queue level, bytes
         self._fl_t = 0.0      # time of the last fluid-state update
+        # Fault-injection state.  ``_down_at`` is the simulation time the
+        # pipe went down (None while up); the saved bound methods restore
+        # whatever send path — per-packet or fluid — was active before the
+        # fault.  ``_fl_gen`` invalidates in-flight _fl_release events when
+        # a fault resets the fluid state; it stays 0 on fault-free runs.
+        self._down_at: Optional[float] = None
+        self._saved_send = None
+        self._saved_send_train = None
+        self._fl_gen = 0
 
     @property
     def queue(self) -> DropTailQueue:
@@ -165,6 +179,67 @@ class _Pipe:
         self._sink.receive_packet(packet, self._link)
 
     # ------------------------------------------------------------------
+    # fault injection: administrative up/down
+    # ------------------------------------------------------------------
+    # Semantics, chosen to be deterministic and identical across engines:
+    # a packet fully handed to the wire before the fault (its delivery
+    # event already scheduled) still arrives — photons in flight don't
+    # care about the cable being cut behind them — while everything
+    # waiting in the queue is flushed and everything offered while down
+    # is dropped at the sender.  Trains that straddle the fault are
+    # truncated at delivery time to the packets that crossed the wire
+    # before ``down_at + delay`` (see _deliver_train).
+    def set_down(self) -> None:
+        """Fail this direction: flush the queue, drop all later sends."""
+        if self._down_at is not None:
+            return
+        now = self._sim._now
+        self._down_at = now
+        self._saved_send = self.send
+        self._saved_send_train = self.send_train
+        self.send = self._send_down  # type: ignore[method-assign]
+        self.send_train = self._send_train_down  # type: ignore[method-assign]
+        flushed = self._queue.clear()
+        if flushed:
+            stats = self.stats
+            stats.packets_dropped += flushed
+            stats.packets_dropped_down += flushed
+        if self._train_mode:
+            # Offered rates and backlog die with the link; invalidate any
+            # pending _fl_release events for the old state.
+            self._fl_gen += 1
+            self._fl_rate = 0.0
+            self._fl_q = 0.0
+            self._fl_t = now
+
+    def set_up(self) -> None:
+        """Recover this direction: restore whichever send path was active."""
+        if self._down_at is None:
+            return
+        self._down_at = None
+        self.send = self._saved_send  # type: ignore[method-assign]
+        self.send_train = self._saved_send_train  # type: ignore[method-assign]
+        self._saved_send = None
+        self._saved_send_train = None
+        if self._train_mode:
+            self._fl_t = self._sim._now
+
+    def _send_down(self, packet: Packet) -> bool:
+        stats = self.stats
+        stats.packets_sent += 1
+        stats.packets_dropped += 1
+        stats.packets_dropped_down += 1
+        return False
+
+    def _send_train_down(self, train: PacketTrain) -> bool:
+        n = train.count
+        stats = self.stats
+        stats.packets_sent += n
+        stats.packets_dropped += n
+        stats.packets_dropped_down += n
+        return False
+
+    # ------------------------------------------------------------------
     # train mode: fluid serialization
     # ------------------------------------------------------------------
     # In train mode the pipe stops materialising per-packet events and
@@ -211,8 +286,14 @@ class _Pipe:
             self._fl_q = 0.0 if q <= 0.0 else (cap if q > cap else q)
             self._fl_t = now
 
-    def _fl_release(self, rate: float) -> None:
-        """A train's span ended: its arrival rate stops contributing."""
+    def _fl_release(self, rate: float, gen: int = 0) -> None:
+        """A train's span ended: its arrival rate stops contributing.
+
+        ``gen`` guards against releases scheduled before a link fault reset
+        the fluid state — they must not subtract from the fresh rate.
+        """
+        if gen != self._fl_gen:
+            return
         self._fl_advance(self._sim._now)
         remaining = self._fl_rate - rate
         self._fl_rate = remaining if remaining > 1e-12 else 0.0
@@ -317,7 +398,7 @@ class _Pipe:
         # train of the same flow arrives, so a steady flow never counts
         # itself twice.
         self._fl_rate += rate
-        sim.fire_at(now + (n - 1) * dt, self._fl_release, rate)
+        sim.fire_at(now + (n - 1) * dt, self._fl_release, rate, self._fl_gen)
         if accepted == 0:
             return False
         if qstats.peak_depth_packets < 1:
@@ -333,6 +414,24 @@ class _Pipe:
 
     def _deliver_train(self, train: PacketTrain) -> None:
         stats = self.stats
+        down_at = self._down_at
+        if down_at is not None:
+            # The link failed while this train was in flight.  Packets that
+            # finished crossing the wire before the cut — arrival strictly
+            # before down_at + delay — still land; the rest are stranded.
+            now = self._sim._now
+            window = (down_at + self._delay) - now
+            if window <= 0.0:
+                stats.packets_dropped += train.count
+                stats.packets_dropped_down += train.count
+                return
+            if train.interval > 0.0:
+                keep = math.ceil(window / train.interval)
+                if keep < train.count:
+                    stranded = train.count - keep
+                    stats.packets_dropped += stranded
+                    stats.packets_dropped_down += stranded
+                    train.count = keep
         count = train.count
         stats.packets_delivered += count
         stats.bytes_delivered += count * train.template.size
@@ -373,6 +472,7 @@ class Link:
             DropTailQueue(queue_capacity_bytes, name=f"{self.name}:{b.name}->{a.name}"),
             self,
         )
+        self._up = True
 
     # ------------------------------------------------------------------
     # sending
@@ -401,6 +501,32 @@ class Link:
         """
         self._pipe_to_b.enable_train_mode()
         self._pipe_to_a.enable_train_mode()
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    @property
+    def up(self) -> bool:
+        """True while the link carries traffic (fault injection may flip it)."""
+        return self._up
+
+    def set_down(self) -> bool:
+        """Fail both directions.  Returns True if the link was up before."""
+        if not self._up:
+            return False
+        self._up = False
+        self._pipe_to_b.set_down()
+        self._pipe_to_a.set_down()
+        return True
+
+    def set_up(self) -> bool:
+        """Recover both directions.  Returns True if the link was down before."""
+        if self._up:
+            return False
+        self._up = True
+        self._pipe_to_b.set_up()
+        self._pipe_to_a.set_up()
+        return True
 
     def other_end(self, node: PacketSink) -> PacketSink:
         """The endpoint that is not ``node``."""

@@ -66,6 +66,10 @@ class RoutingTable:
         self._cache.clear()
         return self._default
 
+    def route_for(self, prefix: Union[str, Prefix]) -> Optional[Route]:
+        """The route installed for exactly ``prefix``, if any (no LPM)."""
+        return self._by_prefix.get(Prefix.parse(prefix))
+
     def remove_route(self, prefix: Union[str, Prefix]) -> bool:
         """Remove the route for exactly ``prefix``.  Returns True if it existed."""
         prefix = Prefix.parse(prefix)

@@ -317,6 +317,11 @@ class TrainProcess:
     * ``limit_until`` — an *exclusive* bound settable between phases (ticks
       strictly before it fire), used by duty-cycled generators so a train
       never crosses an on-phase boundary.
+    * ``max_span`` — a bound on the *time* a single train may cover (ticks
+      later than ``max_span`` after the train's first tick start the next
+      train instead).  Fault-injection runs set this so no train straddles
+      a long interval a fault event could land inside; unlike ``horizon``
+      and ``limit_until`` it never stops the process, it only splits.
 
     Stopping goes through the same generation counter as
     :class:`BatchedProcess`; a pending wakeup from a stale generation
@@ -334,6 +339,7 @@ class TrainProcess:
         *,
         start_delay: float = 0.0,
         max_train: int = 256,
+        max_span: Optional[float] = None,
         max_ticks: Optional[int] = None,
         horizon: Optional[float] = None,
         name: str = "",
@@ -342,10 +348,13 @@ class TrainProcess:
             raise ValueError(f"interval must be positive, got {interval}")
         if max_train <= 0:
             raise ValueError(f"max_train must be positive, got {max_train}")
+        if max_span is not None and max_span <= 0:
+            raise ValueError(f"max_span must be positive, got {max_span}")
         self._sim = sim
         self._interval = float(interval)
         self._callback = callback
         self._max_train = max_train
+        self._max_span = max_span
         self._max_ticks = max_ticks
         self._horizon = horizon
         self._name = name or "train"
@@ -405,12 +414,16 @@ class TrainProcess:
         # Walk the exact per-tick float recurrence to size this train; the
         # loop is pure arithmetic (no events), so a train of n ticks costs
         # n float additions instead of n heap entries.
+        max_span = self._max_span
+        span_limit = sim._now + max_span if max_span is not None else None
         count = 0
         when = sim._now
         while count < cap:
             if horizon is not None and when > horizon:
                 break
             if limit is not None and when >= limit:
+                break
+            if span_limit is not None and when > span_limit:
                 break
             count += 1
             when += interval

@@ -44,6 +44,13 @@ class Topology:
         self.nodes: Dict[str, NetworkNode] = {}
         self.links: List[Link] = []
         self.graph = nx.Graph()
+        # Fault-injection state: the live graph (built graph minus downed
+        # edges) materialises lazily on the first fault, so fault-free runs
+        # never copy the graph; the dynamic-routing helper likewise only
+        # exists once churn is requested.
+        self._live_graph: Optional[nx.Graph] = None
+        self._down_edges: set = set()
+        self._dynamic = None
 
     # ------------------------------------------------------------------
     # node creation
@@ -110,6 +117,62 @@ class Topology:
         node_b = self._resolve(b)
         data = self.graph.get_edge_data(node_a.name, node_b.name)
         return data["link"] if data else None
+
+    # ------------------------------------------------------------------
+    # fault injection / route churn
+    # ------------------------------------------------------------------
+    @property
+    def routing_graph(self) -> nx.Graph:
+        """The graph live routes are computed over.
+
+        Identical to :attr:`graph` until a fault downs a link; afterwards it
+        is the built graph minus the currently-down edges, so path queries
+        (:meth:`path_between`, :meth:`border_router_path`) and incremental
+        recomputation see the network as it is *now*.
+        """
+        return self._live_graph if self._live_graph is not None else self.graph
+
+    def set_link_state(self, link: Link, up: bool) -> bool:
+        """Bring ``link`` up or down, keeping the live graph in sync.
+
+        Returns True when the state actually changed.  Routing tables are
+        *not* touched here — call :meth:`reroute_incremental` (or a full
+        :meth:`build_routes`) afterwards.
+        """
+        changed = link.set_up() if up else link.set_down()
+        if not changed:
+            return False
+        key = (link.a.name, link.b.name)
+        if self._live_graph is None:
+            self._live_graph = self.graph.copy()
+        if up:
+            data = self.graph.get_edge_data(*key)
+            self._live_graph.add_edge(*key, **data)
+            self._down_edges.discard(frozenset(key))
+        else:
+            self._live_graph.remove_edge(*key)
+            self._down_edges.add(frozenset(key))
+        return True
+
+    def ensure_dynamic_routing(self):
+        """Build (once) and return the incremental-rerouting helper."""
+        if self._dynamic is None:
+            from repro.topology.dynamic import DynamicRouting
+            self._dynamic = DynamicRouting(self)
+        return self._dynamic
+
+    def reroute_incremental(self, *, downed=(), restored=()) -> Dict[str, int]:
+        """Delta-update routing tables after link state changes.
+
+        ``downed`` / ``restored`` are the :class:`Link` objects whose state
+        just flipped.  Only destinations whose installed routes actually used
+        a downed edge — or could improve via a restored one — are recomputed
+        (one single-source Dijkstra each), instead of one per router as a
+        full :meth:`build_routes` would pay.  Returns the work counters
+        (``anchors_recomputed``, ``dijkstras``, ``routes_installed``,
+        ``routes_removed``).
+        """
+        return self.ensure_dynamic_routing().apply(downed=downed, restored=restored)
 
     # ------------------------------------------------------------------
     # routing
@@ -186,10 +249,16 @@ class Topology:
 
     def path_between(self, a: Union[str, NetworkNode],
                      b: Union[str, NetworkNode]) -> List[str]:
-        """Node names along the delay-shortest path from a to b (inclusive)."""
+        """Node names along the delay-shortest *live* path from a to b.
+
+        Computed over :attr:`routing_graph`, so after a fault the answer
+        reflects the rerouted network, not the as-built one.  Raises
+        ``networkx.NetworkXNoPath`` when a fault has disconnected the pair.
+        """
         node_a = self._resolve(a)
         node_b = self._resolve(b)
-        return nx.dijkstra_path(self.graph, node_a.name, node_b.name, weight="delay")
+        return nx.dijkstra_path(self.routing_graph, node_a.name, node_b.name,
+                                weight="delay")
 
     def border_router_path(self, source: Union[str, NetworkNode],
                            destination: Union[str, NetworkNode]) -> Tuple[str, ...]:

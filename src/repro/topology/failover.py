@@ -1,0 +1,153 @@
+"""A dual-path topology for fault-injection / route-churn experiments.
+
+The attack path ``B_gw -> T1 -> V2 -> G_gw`` crosses two transit routers on
+the attacker's side of the victim's regional ISP ``V2``:
+
+* ``T1`` — the primary transit; its backbone links have the lower delay, so
+  the shortest path runs through it while it is healthy.
+* ``T2`` — the backup transit, identical except for slightly higher link
+  delays, so it sits idle until a fault removes the primary path.
+
+Taking the ``T1``–``B_gw`` link down (or crashing ``T1``) reroutes the
+attack through ``T2`` — a border router that has never seen a filtering
+request.  That is exactly the defense-survival scenario the fault-injection
+experiments are about: the full filter the escalation installed at ``T1``
+stops protecting the victim the moment the flood shifts, and the defense
+has to re-detect the flow (via shadow caches when they are still warm, via
+the victim's detector when they have expired) and re-install filters along
+the path that now actually carries the traffic.
+
+The four-hop path matters: with the victim's regional router ``V2`` between
+the transits and the victim's gateway, the round-2 escalation designates
+``T1`` as the attacker's gateway while ``V2`` plays the victim's gateway —
+the roles stay on their own sides of the path and no permanent filter ever
+lands on ``G_gw``, so a reroute genuinely exposes the victim again.
+
+The victim's access link is the paper's 10 Mbps tail circuit; a legitimate
+sender shares the victim's gateway so goodput dips are measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.net.link import Link
+from repro.router.nodes import BorderRouter, Host
+from repro.sim.engine import Simulator
+from repro.topology.base import (
+    ACCESS_BANDWIDTH,
+    ACCESS_DELAY,
+    BACKBONE_BANDWIDTH,
+    TAIL_CIRCUIT_BANDWIDTH,
+    Topology,
+)
+
+#: One-way delays of the two transit paths.  The primary must be strictly
+#: cheaper so routing is deterministic, and the gap must survive the +1e-12
+#: tie epsilon used by the incremental rerouter's improvement test.
+PRIMARY_TRANSIT_DELAY = 0.010
+BACKUP_TRANSIT_DELAY = 0.015
+
+
+@dataclass
+class FailoverTopology:
+    """Handles to every node and the fault-target links."""
+
+    topology: Topology
+    g_host: Host
+    l_host: Host
+    g_gw: BorderRouter
+    v2: BorderRouter
+    t1: BorderRouter
+    t2: BorderRouter
+    b_gw: BorderRouter
+    b_host: Host
+    tail_circuit: Link
+    primary_uplink: Link   # T1 -- B_gw (the usual fault target)
+    backup_uplink: Link    # T2 -- B_gw
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulator every node of this topology runs on."""
+        return self.topology.sim
+
+    @property
+    def attack_path(self) -> Tuple[str, ...]:
+        """Border routers from the attacker to the victim (attacker's gateway first)."""
+        return self.topology.border_router_path(self.b_host, self.g_host)
+
+    def all_nodes(self):
+        """Every node, for handing to :func:`repro.core.deploy_aitf`."""
+        return self.topology.all_nodes()
+
+
+def build_failover(
+    sim: Simulator = None,
+    *,
+    tail_circuit_bandwidth: float = TAIL_CIRCUIT_BANDWIDTH,
+    backbone_bandwidth: float = BACKBONE_BANDWIDTH,
+    primary_delay: float = PRIMARY_TRANSIT_DELAY,
+    backup_delay: float = BACKUP_TRANSIT_DELAY,
+    filter_capacity: int = 1000,
+) -> FailoverTopology:
+    """Build the dual-path failover topology.
+
+    Parameters
+    ----------
+    primary_delay / backup_delay:
+        One-way delays of the transit links via ``T1`` / ``T2``.  The
+        backup must be strictly slower than the primary so the initial
+        shortest path is unambiguous.
+    """
+    if backup_delay <= primary_delay:
+        raise ValueError("backup_delay must exceed primary_delay so the "
+                         "primary path is the unambiguous shortest path")
+    topo = Topology(sim)
+
+    g_net_prefix = topo.allocate_network_prefix(24)
+    b_net_prefix = topo.allocate_network_prefix(24)
+
+    g_host = topo.add_host("G_host", "G_net", prefix=g_net_prefix)
+    l_host = topo.add_host("L_host", "G_net", prefix=g_net_prefix)
+    g_gw = topo.add_border_router("G_gw", "G_net", filter_capacity=filter_capacity,
+                                  local_prefix=g_net_prefix)
+    v2 = topo.add_border_router("V2", "V_isp", filter_capacity=filter_capacity)
+    t1 = topo.add_border_router("T1", "T1_isp", filter_capacity=filter_capacity)
+    t2 = topo.add_border_router("T2", "T2_isp", filter_capacity=filter_capacity)
+    b_gw = topo.add_border_router("B_gw", "B_net", filter_capacity=filter_capacity,
+                                  local_prefix=b_net_prefix)
+    b_host = topo.add_host("B_host", "B_net", prefix=b_net_prefix)
+
+    tail_circuit = topo.connect(g_host, g_gw,
+                                bandwidth_bps=tail_circuit_bandwidth,
+                                delay=ACCESS_DELAY)
+    legit_access = topo.connect(l_host, g_gw,
+                                bandwidth_bps=ACCESS_BANDWIDTH,
+                                delay=ACCESS_DELAY)
+    topo.connect(g_gw, v2, bandwidth_bps=backbone_bandwidth, delay=primary_delay)
+    topo.connect(v2, t1, bandwidth_bps=backbone_bandwidth, delay=primary_delay)
+    primary_uplink = topo.connect(t1, b_gw, bandwidth_bps=backbone_bandwidth,
+                                  delay=primary_delay)
+    topo.connect(v2, t2, bandwidth_bps=backbone_bandwidth, delay=backup_delay)
+    backup_uplink = topo.connect(t2, b_gw, bandwidth_bps=backbone_bandwidth,
+                                 delay=backup_delay)
+    attacker_access = topo.connect(b_gw, b_host,
+                                   bandwidth_bps=ACCESS_BANDWIDTH,
+                                   delay=ACCESS_DELAY)
+
+    # Ingress filtering at the edges (Section III-A): clients may only
+    # source addresses from their enterprise prefix.
+    g_gw.ingress.allow(tail_circuit, g_net_prefix)
+    g_gw.ingress.allow(legit_access, g_net_prefix)
+    b_gw.ingress.allow(attacker_access, b_net_prefix)
+
+    topo.build_routes()
+    return FailoverTopology(
+        topology=topo,
+        g_host=g_host, l_host=l_host, g_gw=g_gw, v2=v2,
+        t1=t1, t2=t2, b_gw=b_gw, b_host=b_host,
+        tail_circuit=tail_circuit,
+        primary_uplink=primary_uplink,
+        backup_uplink=backup_uplink,
+    )
