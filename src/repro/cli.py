@@ -35,6 +35,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from typing import Any, Dict, List, Optional
 
 from repro.analysis.report import (
@@ -48,6 +49,7 @@ from repro.analysis.report import (
 from repro.core.config import AITFConfig
 from repro.experiments import (
     DEFENSES,
+    TOPOLOGIES,
     ExperimentRunner,
     ExperimentSpec,
     SweepRunner,
@@ -362,6 +364,68 @@ def run_worker(args: argparse.Namespace) -> int:
     table.add_row("wall clock", format_seconds(stats.wall_seconds))
     table.add_row("stopped because", stats.stop_reason)
     table.print()
+    return 0
+
+
+def run_topo(args: argparse.Namespace) -> int:
+    """``repro topo``: build a registered topology and describe it.
+
+    Prints node/link counts, build wall-clock, and — for policy-routed
+    hierarchies — AS counts by tier, link counts by relationship, and the
+    routing-table entries installed when the victim anchor materializes."""
+    from repro.experiments.topologies import build_topology
+
+    params: Dict[str, Any] = {path: _parse_value(raw)
+                              for path, raw in args.set}
+    if args.seed is not None:
+        params["seed"] = args.seed
+    start = time.perf_counter()
+    handle = build_topology(args.name, params)
+    build_seconds = time.perf_counter() - start
+
+    topo = handle.topology
+    hosts = len(topo.hosts())
+    routers = len(topo.border_routers())
+    table = ResultTable(f"Topology {args.name!r}", ["metric", "value"])
+    table.add_row("nodes", hosts + routers)
+    table.add_row("hosts", hosts)
+    table.add_row("border routers", routers)
+    table.add_row("links", len(topo.links))
+    table.add_row("victim", handle.victim.name)
+    table.add_row("victim gateway", handle.victim_gateway.name)
+    table.add_row("attacker hosts", len(handle.attackers))
+    table.add_row("build wall-clock", format_seconds(build_seconds))
+
+    raw = handle.raw
+    doc: Dict[str, Any] = {
+        "name": args.name, "params": params,
+        "nodes": hosts + routers, "hosts": hosts, "routers": routers,
+        "links": len(topo.links), "build_seconds": build_seconds,
+    }
+    if hasattr(raw, "tier_counts"):
+        for tier, count in raw.tier_counts().items():
+            table.add_row(f"ASes: {tier}", count)
+        doc["tiers"] = raw.tier_counts()
+    if hasattr(raw, "relationships"):
+        for kind, count in raw.relationships.edge_counts().items():
+            table.add_row(f"links: {kind}", count)
+        doc["relationship_links"] = raw.relationships.edge_counts()
+    policy = getattr(getattr(raw, "topology", None), "policy", None)
+    if policy is not None and hasattr(policy, "materialize"):
+        start = time.perf_counter()
+        policy.materialize(policy.anchor_of(handle.victim_gateway.name))
+        route_seconds = time.perf_counter() - start
+        entries = sum(len(router.routing.routes())
+                      for router in topo.border_routers())
+        table.add_row("routing entries (victim anchor)", entries)
+        table.add_row("route wall-clock", format_seconds(route_seconds))
+        doc["routing_entries"] = entries
+        doc["route_seconds"] = route_seconds
+
+    if args.json:
+        print(json.dumps(doc, indent=2, default=str))
+    else:
+        table.print()
     return 0
 
 
@@ -870,6 +934,19 @@ def build_parser() -> argparse.ArgumentParser:
     resources.add_argument("--filter-timeout", type=float, default=20.0)
     resources.add_argument("--seed", type=int, default=None)
     resources.set_defaults(func=run_resources)
+
+    topo = subparsers.add_parser(
+        "topo", help="build a registered topology and describe it")
+    topo.add_argument("--name", required=True,
+                      choices=TOPOLOGIES.names(),
+                      help="topology registry name")
+    topo.add_argument("--seed", type=int, default=None,
+                      help="override the builder's seed")
+    topo.add_argument("--set", action="append", type=_parse_assignment,
+                      metavar="PARAM=VALUE", default=[],
+                      help="override any builder parameter "
+                           "(e.g. --set autonomous_systems=10000)")
+    topo.set_defaults(func=run_topo)
 
     bench = subparsers.add_parser(
         "bench", help="engine throughput benchmarks (see PERFORMANCE.md)")

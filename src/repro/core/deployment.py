@@ -10,7 +10,7 @@ use to reach any agent, flip cooperation flags, and read the event log.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Container, Dict, Iterable, List, Optional
 
 from repro.core.config import AITFConfig
 from repro.core.directory import NodeDirectory
@@ -72,6 +72,7 @@ def deploy_aitf(
     directory: Optional[NodeDirectory] = None,
     rng: Optional[SeededRandom] = None,
     cooperative: bool = True,
+    gateway_names: Optional[Container[str]] = None,
 ) -> AITFDeployment:
     """Attach AITF agents to every host and border router in ``nodes``.
 
@@ -85,6 +86,10 @@ def deploy_aitf(
     cooperative:
         Initial cooperation flag for every agent; individual nodes can be
         flipped afterwards via :meth:`AITFDeployment.set_cooperative`.
+    gateway_names:
+        When given, only the named border routers get a gateway agent
+        (partial deployment); every other router stays a plain forwarder.
+        Hosts always get host agents.
     """
     config = config or AITFConfig()
     event_log = event_log or ProtocolEventLog()
@@ -96,6 +101,8 @@ def deploy_aitf(
     directory.register_all(node_list)
     for node in node_list:
         if isinstance(node, BorderRouter):
+            if gateway_names is not None and node.name not in gateway_names:
+                continue
             deployment.gateway_agents[node.name] = GatewayAgent(
                 node, config, event_log, directory,
                 rng=rng.fork(node.name), cooperative=cooperative,

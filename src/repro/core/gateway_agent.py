@@ -491,10 +491,17 @@ class GatewayAgent:
             return
         if upstream == designated:
             # The next AITF node up the path is the non-cooperating gateway
-            # itself: we are adjacent to the attack side, so the endgame is
+            # itself: when it is a direct neighbor the endgame is
             # disconnection (Section II-D, "G_gw3 disconnects from B_gw3").
-            self._disconnect_from(upstream, state.request,
-                                  reason="non-cooperating peer gateway")
+            # Under partial deployment the next AITF gateway may sit several
+            # non-deployed hops away — there is no shared link to sever, and
+            # cutting our own upstream toward it would disconnect *us*, so
+            # we keep filtering locally instead.
+            offender_node = self.directory.get(upstream)
+            if (offender_node is not None
+                    and self.router.link_to(offender_node) is not None):
+                self._disconnect_from(upstream, state.request,
+                                      reason="non-cooperating peer gateway")
             state.gave_up = True
             return
         new_round = state.current_round + 1

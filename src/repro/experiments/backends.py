@@ -33,7 +33,7 @@ from repro.core.detection import ExplicitDetector
 from repro.core.events import EventType
 from repro.experiments.registry import DEFENSES
 from repro.net.flowlabel import FlowLabel
-from repro.sim.randomness import SeededRandom
+from repro.sim.randomness import SeededRandom, stable_seed
 
 
 class DefenseBackend:
@@ -68,7 +68,17 @@ class AITFBackend(DefenseBackend):
     gateway's DRAM shadow cache), ``cooperative`` (initial flag for all),
     ``redetect_gap`` (seconds of silence after which a reappearing
     undesired flow is re-reported along its fresh path — opt-in, for the
-    fault-injection experiments).
+    fault-injection experiments), ``deployment`` (*where* in the network
+    filtering gateways sit: ``all`` (default), ``tier1`` / ``tier2`` /
+    ``stubs`` on tiered topologies, ``victim-stub`` (only the victim's
+    own gateway), or ``random-K`` for a seeded K% of border routers;
+    non-deployed routers forward normally but neither stamp the
+    route-record shim nor run an AITF agent, so recorded attack paths —
+    and therefore escalation — only ever name deployed gateways, exactly
+    as the paper's partial-deployment analysis assumes), and
+    ``non_cooperating_attackers`` (flip every attack-workload host to
+    non-cooperative without naming them, so floods keep pressing until
+    gateway filters actually block them).
     """
 
     name = "aitf"
@@ -77,13 +87,55 @@ class AITFBackend(DefenseBackend):
         super().__init__(params)
         self.deployment: Optional[AITFDeployment] = None
         self.detector: Optional[ExplicitDetector] = None
+        self.deployed_gateways: Optional[frozenset] = None
+
+    def _gateway_names(self, ctx: Any) -> Optional[frozenset]:
+        """Resolve the ``deployment`` locus to a set of router names."""
+        locus = str(self.params.get("deployment", "all"))
+        if locus == "all":
+            return None
+        victim_gw = ctx.handle.victim_gateway.name
+        if locus == "victim-stub":
+            return frozenset((victim_gw,))
+        routers = sorted(r.name for r in ctx.handle.topology.border_routers())
+        if locus.startswith("random-"):
+            try:
+                percent = float(locus[len("random-"):])
+            except ValueError:
+                raise ValueError(f"bad deployment locus {locus!r}: expected "
+                                 f"random-K with K a percentage") from None
+            count = max(1, round(len(routers) * percent / 100.0))
+            rng = SeededRandom(stable_seed(ctx.spec.seed, "deployment", locus),
+                               name="deployment-locus")
+            selected = set(rng.sample(routers, min(count, len(routers))))
+            selected.add(victim_gw)
+            return frozenset(selected)
+        tier_of = getattr(ctx.handle.raw, "tier_of", None)
+        if tier_of is None:
+            raise ValueError(
+                f"deployment locus {locus!r} needs a tiered topology "
+                f"(hierarchy); {ctx.handle.kind!r} has no tier annotations")
+        wanted = {"tier1": 1, "tier2": 2, "stubs": 3}.get(locus)
+        if wanted is None:
+            raise ValueError(
+                f"unknown deployment locus {locus!r}: expected all, tier1, "
+                f"tier2, stubs, victim-stub or random-K")
+        selected = {name for name in routers if tier_of.get(name) == wanted}
+        selected.add(victim_gw)
+        return frozenset(selected)
 
     def deploy(self, ctx: Any) -> None:
+        self.deployed_gateways = self._gateway_names(ctx)
         self.deployment = deploy_aitf(
             ctx.handle.all_nodes(), ctx.config,
             rng=SeededRandom(ctx.spec.seed, name="deployment"),
             cooperative=bool(self.params.get("cooperative", True)),
+            gateway_names=self.deployed_gateways,
         )
+        if self.deployed_gateways is not None:
+            for router in ctx.handle.topology.border_routers():
+                if router.name not in self.deployed_gateways:
+                    router.stamp_route_record = False
         self.deployment.set_disconnection_enabled(
             bool(self.params.get("disconnection_enabled", False)))
         for node_name in self.params.get("non_cooperating", ()):
@@ -104,9 +156,12 @@ class AITFBackend(DefenseBackend):
 
     def arm(self, ctx: Any) -> None:
         assert self.deployment is not None and self.detector is not None
+        uncooperative = bool(self.params.get("non_cooperating_attackers", False))
         for workload in ctx.attack_workloads():
             for host in workload.attacker_hosts:
                 self.detector.mark_undesired(host.address)
+                if uncooperative:
+                    self.deployment.set_cooperative(host.name, False)
             workload.register_stop_callbacks(self.deployment.host_agents)
 
     def collect(self, ctx: Any) -> Dict[str, Any]:
@@ -139,6 +194,8 @@ class AITFBackend(DefenseBackend):
                 e for e in log.of_type(EventType.REQUEST_SENT)
                 if e.node == ctx.handle.victim.name
             ]),
+            "deployment_locus": str(self.params.get("deployment", "all")),
+            "deployed_gateways": (len(self.deployment.gateway_agents)),
         }
 
 

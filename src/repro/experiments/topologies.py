@@ -177,6 +177,34 @@ def _build_powerlaw_handle(params: Mapping[str, Any]) -> TopologyHandle:
     )
 
 
+@TOPOLOGIES.register("hierarchy")
+def _build_hierarchy_handle(params: Mapping[str, Any]) -> TopologyHandle:
+    """A CAIDA-style tiered AS hierarchy with valley-free policy routing
+    (see :func:`repro.topology.hierarchy.build_hierarchy_internet`).
+    Host roles: the first host stub holds the victim, the second's hosts
+    send legitimate traffic, every remaining host is an attacker
+    candidate.  Routing tables materialise lazily per destination, so
+    10k+ AS graphs are practical."""
+    from repro.topology.hierarchy import build_hierarchy_internet
+
+    internet = build_hierarchy_internet(**dict(params))
+    stubs = internet.host_stub_routers
+    victim_hosts = internet.hosts_by_stub[stubs[0].name]
+    legit = tuple(internet.hosts_by_stub[stubs[1].name])
+    attackers = tuple(
+        host for router in stubs[2:]
+        for host in internet.hosts_by_stub[router.name])
+    return TopologyHandle(
+        kind="hierarchy",
+        topology=internet.topology,
+        victim=victim_hosts[0],
+        victim_gateway=stubs[0],
+        attackers=attackers,
+        legit_senders=legit,
+        raw=internet,
+    )
+
+
 def build_topology(kind: str, params: Mapping[str, Any]) -> TopologyHandle:
     """Resolve ``kind`` in the registry and build the handle."""
     builder = TOPOLOGIES.get(kind)

@@ -17,7 +17,7 @@ import math
 from dataclasses import dataclass
 from typing import Optional, Protocol as TypingProtocol
 
-from repro.net.packet import Packet
+from repro.net.packet import Packet, PacketKind
 from repro.net.queues import DropTailQueue
 from repro.net.train import PacketTrain
 from repro.sim.engine import Simulator
@@ -97,6 +97,7 @@ class _Pipe:
         self._fl_rate = 0.0   # offered inflow from active trains, bytes/sec
         self._fl_q = 0.0      # fluid queue level, bytes
         self._fl_t = 0.0      # time of the last fluid-state update
+        self._fl_adm = 0.0    # fair-share admission credit for single packets
         # Fault-injection state.  ``_down_at`` is the simulation time the
         # pipe went down (None while up); the saved bound methods restore
         # whatever send path — per-packet or fluid — was active before the
@@ -149,7 +150,13 @@ class _Pipe:
             self._busy_until = now + tx_time
             sim.schedule_fire(tx_time + self._delay, self._deliver, packet)
             return True
-        if not self._queue.enqueue(packet):
+        queue = self._queue
+        # A full data queue must not silence the control channel: AITF
+        # messages are rare and tiny, and a router forwards them with
+        # priority (the fluid path applies the same exemption).
+        if packet.kind is not PacketKind.DATA and queue.would_drop(packet):
+            queue.enqueue_priority(packet)
+        elif not queue.enqueue(packet):
             stats.packets_dropped += 1
             return False
         if not self._drain_pending:
@@ -211,6 +218,7 @@ class _Pipe:
             self._fl_rate = 0.0
             self._fl_q = 0.0
             self._fl_t = now
+            self._fl_adm = 0.0
 
     def set_up(self) -> None:
         """Recover this direction: restore whichever send path was active."""
@@ -313,10 +321,35 @@ class _Pipe:
         self._fl_advance(sim._now)
         q0 = self._fl_q
         if q0 + size > self._cap_bytes:
-            qstats.dropped += 1
-            qstats.bytes_dropped += size
-            stats.packets_dropped += 1
-            return False
+            # Saturated fluid queue.  Per-packet mode still admits the
+            # fraction of arrivals that land just after a departure (the
+            # queue drains at the service rate while the flood pours in at
+            # the inflow rate), so single packets — AITF handshakes and
+            # filtering requests crossing the attacked link — must not be
+            # starved *deterministically* during a sustained flood.  A
+            # credit accumulator admits exactly the service/inflow share,
+            # keeping the fluid path deterministic (no RNG, state advances
+            # in event order).
+            inflow = self._fl_rate
+            srate = self._srate
+            # AITF control messages (requests, handshakes) are rare and
+            # tiny; per-packet mode delivers nearly all of them because
+            # filters drain the queue between control events, so dropping
+            # them at fair share here makes train mode diverge into
+            # escalation storms.  Their byte share is negligible, so
+            # admitting them does not distort the fluid rates.
+            admitted = packet.kind is not PacketKind.DATA
+            if not admitted and inflow > srate:
+                self._fl_adm += srate / inflow
+                if self._fl_adm >= 1.0:
+                    self._fl_adm -= 1.0
+                    admitted = True
+            if not admitted:
+                qstats.dropped += 1
+                qstats.bytes_dropped += size
+                stats.packets_dropped += 1
+                return False
+            q0 = self._cap_bytes - size
         self._fl_q = q0 + size
         qstats.enqueued += 1
         qstats.bytes_enqueued += size

@@ -136,6 +136,29 @@ class DropTailQueue:
             stats.peak_depth_bytes = new_bytes
         return True
 
+    def enqueue_priority(self, packet: Packet) -> bool:
+        """Append a packet past the capacity bound (protocol control traffic).
+
+        AITF control messages are a few hundred bytes per attack flow, so
+        letting them ride over a full data queue never grows it by more
+        than a rounding error — while tail-dropping them would let the
+        flood suppress the very messages that stop it.  Stats are counted
+        exactly like a normal enqueue.
+        """
+        stats = self.stats
+        size = packet.size
+        queue = self._queue
+        queue.append(packet)
+        new_bytes = self._bytes = self._bytes + size
+        stats.enqueued += 1
+        stats.bytes_enqueued += size
+        depth = len(queue)
+        if depth > stats.peak_depth_packets:
+            stats.peak_depth_packets = depth
+        if new_bytes > stats.peak_depth_bytes:
+            stats.peak_depth_bytes = new_bytes
+        return True
+
     def dequeue(self) -> Optional[Packet]:
         """Pop the oldest packet, or None when empty."""
         if not self._queue:

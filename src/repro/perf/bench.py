@@ -29,7 +29,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 #: ``fleet_packet`` are the same ~200-AS / ~1000-zombie scenario in train
 #: and per-packet mode — their ratio is the headline train-mode speedup.
 BENCH_NAMES: Tuple[str, ...] = ("flood", "flood_heavy", "scaling",
-                                "fleet", "fleet_packet", "horizon")
+                                "fleet", "fleet_packet", "horizon",
+                                "hierarchy_build", "hierarchy_routes")
 
 #: Schema tag written to BENCH_engine.json.
 BENCH_SCHEMA = "bench_engine/v1"
@@ -265,6 +266,54 @@ def _run_horizon(attack_pps: float = 1500.0, duration: float = 120.0,
     return packets, execution.sim.events_processed
 
 
+def _run_hierarchy_build(autonomous_systems: float = 10000,
+                         host_stubs: float = 10, hosts_per_stub: float = 2,
+                         seed: int = 7, duration: float = 0.0) -> Tuple[int, int]:
+    """Tiered-hierarchy construction: nodes built per wall-second.
+
+    ``duration`` is accepted for harness compatibility (the warmup pass
+    shortens it) and unused — the measured work is pure graph construction
+    (tier sampling, link wiring, relationship annotation), no simulation.
+    Reports (nodes, links) so packets_per_sec reads as nodes/sec.
+    """
+    from repro.topology.hierarchy import build_hierarchy_internet
+
+    internet = build_hierarchy_internet(
+        autonomous_systems=int(autonomous_systems),
+        host_stubs=int(host_stubs), hosts_per_stub=int(hosts_per_stub),
+        seed=int(seed))
+    return len(internet.all_nodes()), len(internet.topology.links)
+
+
+def _run_hierarchy_routes(autonomous_systems: float = 10000,
+                          anchors: float = 8, host_stubs: float = 10,
+                          hosts_per_stub: float = 2, seed: int = 7,
+                          duration: float = 0.0) -> Tuple[int, int, float]:
+    """Valley-free routing: routes installed per wall-second.
+
+    Materializes ``anchors`` destination shards on a pre-built hierarchy
+    (construction reported through the setup-cost channel so the number
+    measures the Gao-Rexford solver plus table installs, not graph
+    building).  ``duration`` is unused, kept for harness compatibility.
+    Reports (routes_installed, anchors_materialized).
+    """
+    from repro.topology.hierarchy import build_hierarchy_internet
+
+    setup_start = time.perf_counter()
+    internet = build_hierarchy_internet(
+        autonomous_systems=int(autonomous_systems),
+        host_stubs=int(host_stubs), hosts_per_stub=int(hosts_per_stub),
+        seed=int(seed))
+    policy = internet.topology.policy
+    setup_seconds = time.perf_counter() - setup_start
+
+    for router in internet.host_stub_routers[:int(anchors)]:
+        policy.materialize(router.name)
+    stats = policy.stats
+    return (stats["routes_installed"], stats["anchors_materialized"],
+            setup_seconds)
+
+
 #: name -> (workload callable producing (packets, events[, setup_seconds]),
 #: default params).  A workload returning a third element reports one-time
 #: construction cost, which run_bench excludes from the timed wall-clock.
@@ -283,6 +332,12 @@ _WORKLOADS: Dict[str, Tuple[Callable[..., Tuple], Dict[str, float]]] = {
                                   "max_train": 256}),
     "horizon": (_run_horizon, {"attack_pps": 1500.0, "duration": 120.0,
                                "seed": 0, "max_train": 256}),
+    "hierarchy_build": (_run_hierarchy_build, {
+        "autonomous_systems": 10000, "host_stubs": 10, "hosts_per_stub": 2,
+        "seed": 7, "duration": 0.0}),
+    "hierarchy_routes": (_run_hierarchy_routes, {
+        "autonomous_systems": 10000, "anchors": 8, "host_stubs": 10,
+        "hosts_per_stub": 2, "seed": 7, "duration": 0.0}),
 }
 
 

@@ -47,6 +47,14 @@ class RoutingTable:
         #: int-keyed dict hit (C-level hashing); any table mutation
         #: invalidates the whole memo.
         self._cache: dict = {}
+        #: Optional miss hook: ``miss_handler(destination) -> bool`` is
+        #: invoked when no explicit route matches (before the default-route
+        #: fallback).  Returning True means routes were installed and the
+        #: scan should be retried once.  Lazily materialised routing shards
+        #: (repro.routing_policy) hang off this; the per-packet hot path is
+        #: untouched because resolved lookups hit the memo above.
+        self.miss_handler = None
+        self._miss_active = False
 
     # ------------------------------------------------------------------
     # population
@@ -107,11 +115,24 @@ class RoutingTable:
         route = self._cache.get(destination.value, _MISS)
         if route is not _MISS:
             return route
-        route = self._default
+        route = None
         for candidate in self._routes:
             if candidate.matches(destination):
                 route = candidate
                 break
+        if route is None and self.miss_handler is not None and not self._miss_active:
+            self._miss_active = True
+            try:
+                installed = self.miss_handler(destination)
+            finally:
+                self._miss_active = False
+            if installed:
+                for candidate in self._routes:
+                    if candidate.matches(destination):
+                        route = candidate
+                        break
+        if route is None:
+            route = self._default
         self._cache[destination.value] = route
         return route
 

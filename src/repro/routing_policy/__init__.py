@@ -1,0 +1,30 @@
+"""Valley-free (Gao–Rexford) policy routing over tiered AS topologies.
+
+See :mod:`repro.routing_policy.valley_free` for the route-selection rules
+and the pinned determinism tie-break, :mod:`repro.routing_policy.manager`
+for lazy per-anchor table materialisation, and
+:mod:`repro.topology.hierarchy` for the tiered-topology builder that uses
+both.
+"""
+
+from repro.routing_policy.relationships import RelationshipMap
+from repro.routing_policy.valley_free import (
+    CLASS_NAMES,
+    CUSTOMER,
+    PEER,
+    PROVIDER,
+    PolicyRoute,
+    valley_free_routes,
+)
+from repro.routing_policy.manager import PolicyRoutingManager
+
+__all__ = [
+    "CLASS_NAMES",
+    "CUSTOMER",
+    "PEER",
+    "PROVIDER",
+    "PolicyRoute",
+    "PolicyRoutingManager",
+    "RelationshipMap",
+    "valley_free_routes",
+]

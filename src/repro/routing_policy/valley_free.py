@@ -1,0 +1,141 @@
+"""Per-destination valley-free (Gao–Rexford) route computation.
+
+Instead of shortest paths, interdomain routes follow business policy:
+
+* **customer routes win** — a route learned from a customer (the
+  destination sits in the next hop's customer cone) is preferred over any
+  peer- or provider-learned route, regardless of length;
+* **peer routes beat provider routes** — one peer hop into a neighbor
+  that itself has a customer route;
+* **export rules** — customer routes are exported to everyone; peer- and
+  provider-learned routes are exported to customers only.  Composing
+  selection with export yields the classic valley-free path shape
+  ``uphill* peer? downhill*``: traffic never goes provider→customer→
+  provider (a "valley") and never crosses two peering links.
+
+The computation is **per destination** (one anchor at a time) so 10k-AS
+routing tables can be materialised lazily — a destination nobody sends to
+costs nothing.  Three stages, each O(V+E):
+
+1. *customer routes*: BFS from the destination along customer→provider
+   edges — a node is reached iff the destination is in its customer cone;
+2. *peer routes*: one peer hop from any customer-routed node;
+3. *provider routes*: multi-source unit-weight Dijkstra seeded with every
+   routed node, relaxing provider→customer edges downward (a node with a
+   route exports it to its customers).
+
+**Pinned preference tie-break** (regression-tested): routes compare by the
+tuple ``(class_rank, hops, next_hop_name)`` — class 0 customer / 1 peer /
+2 provider, then fewest AS hops, then the lexicographically smallest next
+hop.  This makes the computation deterministic across edge insertion
+order, worker processes, and networkx versions (networkx is not consulted
+at all here).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, NamedTuple, Optional
+
+from repro.routing_policy.relationships import RelationshipMap
+
+#: Route-class ranks in preference order (smaller wins).
+CUSTOMER, PEER, PROVIDER = 0, 1, 2
+
+CLASS_NAMES = {CUSTOMER: "customer", PEER: "peer", PROVIDER: "provider"}
+
+
+class PolicyRoute(NamedTuple):
+    """A selected route toward the current destination anchor."""
+
+    rank: int       # CUSTOMER / PEER / PROVIDER
+    hops: int       # AS-path length in hops
+    next_hop: str   # direct-neighbor router name
+
+    @property
+    def route_class(self) -> str:
+        return CLASS_NAMES[self.rank]
+
+
+def valley_free_routes(
+    destination: str,
+    rels: RelationshipMap,
+    *,
+    edge_up: Optional[Callable[[str, str], bool]] = None,
+) -> Dict[str, PolicyRoute]:
+    """Best valley-free route from every AS toward ``destination``.
+
+    Returns ``{router_name: PolicyRoute}`` for every AS with a policy-
+    compliant route; ASes absent from the result have none (the
+    destination is outside their customer cone and no peer/provider
+    exports reach them — possible after link failures).  ``edge_up(a, b)``
+    filters failed links; by default every declared edge is usable.
+    """
+    if edge_up is None:
+        def edge_up(a: str, b: str) -> bool:
+            return True
+
+    # Stage 1 — customer routes: BFS from the destination up provider
+    # edges.  dist[u] is the hop count of u's best customer route.
+    dist: Dict[str, int] = {destination: 0}
+    frontier = [destination]
+    while frontier:
+        next_frontier = []
+        for node in frontier:
+            for provider in rels.providers_of(node):
+                if provider not in dist and edge_up(node, provider):
+                    dist[provider] = dist[node] + 1
+                    next_frontier.append(provider)
+        frontier = next_frontier
+
+    routes: Dict[str, PolicyRoute] = {}
+    for node, hops in dist.items():
+        if node == destination:
+            continue
+        # The next hop is the name-smallest customer one BFS level closer.
+        best = None
+        for customer in rels.customers_of(node):
+            if dist.get(customer, -1) == hops - 1 and edge_up(node, customer):
+                best = customer
+                break  # customers_of is name-sorted: first match is smallest
+        if best is not None:
+            routes[node] = PolicyRoute(CUSTOMER, hops, best)
+
+    # Stage 2 — peer routes: one peer hop into the customer-routed region.
+    for node in rels.nodes():
+        if node in dist:
+            continue
+        best = None
+        for peer in rels.peers_of(node):
+            peer_dist = dist.get(peer)
+            if peer_dist is None or not edge_up(node, peer):
+                continue
+            candidate = (peer_dist + 1, peer)
+            if best is None or candidate < best:
+                best = candidate
+        if best is not None:
+            routes[node] = PolicyRoute(PEER, best[0], best[1])
+
+    # Stage 3 — provider routes: unit-weight multi-source Dijkstra seeded
+    # with every routed node, relaxing downhill (provider→customer) edges.
+    # Heap entries carry (hops, customer, provider) so equal-hop candidates
+    # resolve to the name-smallest provider.
+    settled: Dict[str, PolicyRoute] = {}
+    heap = []
+    for node in sorted(routes):
+        heapq.heappush(heap, (routes[node].hops, node, None))
+    if destination in rels.nodes():
+        heapq.heappush(heap, (0, destination, None))
+    while heap:
+        hops, node, via = heapq.heappop(heap)
+        if via is not None:
+            if node in routes or node in settled:
+                continue
+            settled[node] = PolicyRoute(PROVIDER, hops, via)
+        for customer in rels.customers_of(node):
+            if customer in routes or customer in settled or customer == destination:
+                continue
+            if edge_up(node, customer):
+                heapq.heappush(heap, (hops + 1, customer, node))
+    routes.update(settled)
+    return routes

@@ -1,0 +1,246 @@
+"""Valley-free (Gao-Rexford) policy routing: relationships, route
+selection, export rules, and the pinned deterministic tie-break."""
+
+import random
+
+import pytest
+
+from repro.routing_policy import (
+    CUSTOMER,
+    PEER,
+    PROVIDER,
+    PolicyRoute,
+    RelationshipMap,
+    valley_free_routes,
+)
+
+
+def small_hierarchy() -> RelationshipMap:
+    """Two tier-1 peers, two tier-2s, three stubs:
+
+        t1a ==== t1b          (peer)
+        /  \\      \\
+      t2a  t2b --- t2c?      t2a,t2b buy from t1a; t2b peers with t2c...
+
+    Kept deliberately tiny; each test states the edges it relies on.
+    """
+    rels = RelationshipMap()
+    rels.add_peer("t1a", "t1b")
+    rels.add_customer("t2a", "t1a")
+    rels.add_customer("t2b", "t1a")
+    rels.add_customer("t2c", "t1b")
+    rels.add_peer("t2b", "t2c")
+    rels.add_customer("sta", "t2a")
+    rels.add_customer("stb", "t2b")
+    rels.add_customer("stc", "t2c")
+    return rels
+
+
+class TestRelationshipMap:
+    def test_relationship_types(self):
+        rels = small_hierarchy()
+        assert rels.relationship("t2a", "t1a") == "up"
+        assert rels.relationship("t1a", "t2a") == "down"
+        assert rels.relationship("t1a", "t1b") == "peer"
+        assert rels.relationship("t2a", "t2b") is None
+
+    def test_self_and_duplicate_edges_rejected(self):
+        rels = RelationshipMap()
+        with pytest.raises(ValueError):
+            rels.add_customer("a", "a")
+        with pytest.raises(ValueError):
+            rels.add_peer("a", "a")
+        rels.add_customer("a", "b")
+        with pytest.raises(ValueError):
+            rels.add_peer("a", "b")
+        with pytest.raises(ValueError):
+            rels.add_customer("b", "a")
+
+    def test_adjacency_is_name_sorted(self):
+        rels = RelationshipMap()
+        rels.add_customer("z", "hub")
+        rels.add_customer("a", "hub")
+        rels.add_customer("m", "hub")
+        assert rels.customers_of("hub") == ("a", "m", "z")
+
+    def test_edge_counts(self):
+        rels = small_hierarchy()
+        assert rels.edge_counts() == {"customer_provider": 6, "peer_peer": 2}
+
+    def test_validate_path_accepts_valley_free_shapes(self):
+        rels = small_hierarchy()
+        # uphill* peer? downhill*
+        assert rels.validate_path(["sta", "t2a", "t1a", "t1b", "t2c", "stc"])
+        assert rels.validate_path(["stb", "t2b", "t2c", "stc"])
+        assert rels.validate_path(["sta", "t2a", "t1a", "t2b", "stb"])
+        assert rels.validate_path(["sta"])
+
+    def test_validate_path_rejects_valleys_and_double_peering(self):
+        rels = small_hierarchy()
+        # peer hop after a downhill hop (t1a->t2b is down, t2b~t2c is peer)
+        assert not rels.validate_path(["t1a", "t2b", "t2c"])
+        # provider->customer->provider valley: down to t2b then up again.
+        assert not rels.validate_path(["t2a", "t1a", "t2b", "t1a"])
+        # two peering links: t1a=t1b peer then t2c->t2b peer after downhill.
+        assert not rels.validate_path(["t1a", "t1b", "t2c", "t2b"])
+        # unrelated hop
+        assert not rels.validate_path(["sta", "stb"])
+
+
+class TestValleyFreeRoutes:
+    def test_customer_routes_cover_the_provider_chain(self):
+        rels = small_hierarchy()
+        routes = valley_free_routes("sta", rels)
+        assert routes["t2a"] == PolicyRoute(CUSTOMER, 1, "sta")
+        assert routes["t1a"] == PolicyRoute(CUSTOMER, 2, "t2a")
+
+    def test_peer_beats_provider(self):
+        rels = small_hierarchy()
+        routes = valley_free_routes("stb", rels)
+        # t2c can reach stb's cone via its peer t2b (rank PEER) or via its
+        # provider t1b (rank PROVIDER); the peer route must win.
+        assert routes["t2c"].rank == PEER
+        assert routes["t2c"].next_hop == "t2b"
+
+    def test_provider_routes_fill_the_rest(self):
+        rels = small_hierarchy()
+        routes = valley_free_routes("sta", rels)
+        # stc has no customer or peer toward sta; it must go up to t2c.
+        assert routes["stc"].rank == PROVIDER
+        assert routes["stc"].next_hop == "t2c"
+
+    def test_peer_routes_are_not_exported_to_peers(self):
+        # a -- b (peer), b -- c (peer), dst is c's customer: a must NOT
+        # route via b (that would cross two peering links).
+        rels = RelationshipMap()
+        rels.add_peer("a", "b")
+        rels.add_peer("b", "c")
+        rels.add_customer("dst", "c")
+        routes = valley_free_routes("dst", rels)
+        assert routes["b"].rank == PEER
+        assert "a" not in routes
+
+    def test_provider_routes_are_not_exported_to_providers(self):
+        # p is b's provider; b's only route toward dst is via b's *other*
+        # provider q (PROVIDER class).  b must not export it uphill to p,
+        # so p ends up with no route at all.
+        rels = RelationshipMap()
+        rels.add_customer("b", "p")
+        rels.add_customer("b", "q")
+        rels.add_customer("dst", "q")
+        routes = valley_free_routes("dst", rels)
+        assert routes["b"] == PolicyRoute(PROVIDER, 2, "q")
+        assert "p" not in routes
+
+    def test_every_route_walk_is_valley_free(self):
+        rels = small_hierarchy()
+        for dst in rels.nodes():
+            routes = valley_free_routes(dst, rels)
+            for src in routes:
+                path = [src]
+                while path[-1] != dst:
+                    path.append(routes[path[-1]].next_hop)
+                    assert len(path) <= len(rels.nodes())
+                assert rels.validate_path(path), (dst, path)
+
+    def test_edge_up_filter_drops_routes(self):
+        rels = small_hierarchy()
+        blocked = {frozenset(("sta", "t2a"))}
+        routes = valley_free_routes(
+            "sta", rels, edge_up=lambda a, b: frozenset((a, b)) not in blocked)
+        # sta's only uplink is gone: nobody can reach it.
+        assert routes == {}
+
+
+def random_relationships(seed: int) -> RelationshipMap:
+    """A random 3-tier hierarchy with a Python-random seed (test-local)."""
+    rng = random.Random(seed)
+    rels = RelationshipMap()
+    t1 = [f"t1_{i}" for i in range(3)]
+    t2 = [f"t2_{i}" for i in range(8)]
+    st = [f"st_{i}" for i in range(20)]
+    for i, a in enumerate(t1):
+        for b in t1[i + 1:]:
+            rels.add_peer(a, b)
+    for name in t2:
+        for provider in rng.sample(t1, rng.randint(1, 2)):
+            rels.add_customer(name, provider)
+    for a, b in [tuple(rng.sample(t2, 2)) for _ in range(5)]:
+        if rels.relationship(a, b) is None:
+            rels.add_peer(a, b)
+    for name in st:
+        for provider in rng.sample(t2, rng.randint(1, 2)):
+            rels.add_customer(name, provider)
+    return rels
+
+
+class TestDeterministicTieBreak:
+    def test_routes_identical_across_insertion_order(self):
+        """The pinned (class, hops, name) tie-break makes the route map a
+        pure function of the edge *set* -- shuffling the order edges are
+        declared in must not move a single next hop."""
+        for seed in range(5):
+            rng = random.Random(seed)
+            base = random_relationships(seed)
+            edges = []
+            for node in base.nodes():
+                for provider in base.providers_of(node):
+                    edges.append(("c", node, provider))
+                for peer in base.peers_of(node):
+                    if node < peer:
+                        edges.append(("p", node, peer))
+            reference = None
+            for _ in range(3):
+                rng.shuffle(edges)
+                rebuilt = RelationshipMap()
+                for kind, a, b in edges:
+                    if kind == "c":
+                        rebuilt.add_customer(a, b)
+                    else:
+                        rebuilt.add_peer(a, b)
+                routes = {dst: valley_free_routes(dst, rebuilt)
+                          for dst in rebuilt.nodes()}
+                if reference is None:
+                    reference = routes
+                else:
+                    assert routes == reference
+
+    def test_equal_candidates_resolve_to_name_smallest(self):
+        # dst has two providers ("pa", "pb") at equal hops from "top";
+        # top's downhill relaxation must pick the name-smallest via.
+        rels = RelationshipMap()
+        rels.add_customer("dst", "pb")
+        rels.add_customer("dst", "pa")
+        rels.add_customer("leaf", "pa")
+        rels.add_customer("leaf", "pb")
+        routes = valley_free_routes("dst", rels)
+        assert routes["leaf"] == PolicyRoute(PROVIDER, 2, "pa")
+
+    def test_property_no_valley_on_random_graphs(self):
+        for seed in range(8):
+            rels = random_relationships(100 + seed)
+            for dst in rels.nodes()[::3]:
+                routes = valley_free_routes(dst, rels)
+                for src in list(routes)[::2]:
+                    path = [src]
+                    while path[-1] != dst:
+                        path.append(routes[path[-1]].next_hop)
+                        assert len(path) <= len(rels.nodes()) + 1
+                    assert rels.validate_path(path), (seed, dst, path)
+
+    def test_property_rank_ordering_is_consistent(self):
+        """A node with a customer route never reports PEER/PROVIDER, and
+        hops always measure the walked path exactly."""
+        for seed in range(4):
+            rels = random_relationships(200 + seed)
+            for dst in rels.nodes()[::4]:
+                routes = valley_free_routes(dst, rels)
+                for src, route in routes.items():
+                    path = [src]
+                    while path[-1] != dst:
+                        path.append(routes[path[-1]].next_hop)
+                    assert len(path) - 1 == route.hops, (src, dst, path)
+                    first_rel = rels.relationship(src, route.next_hop)
+                    expected = {"down": CUSTOMER, "peer": PEER,
+                                "up": PROVIDER}[first_rel]
+                    assert route.rank == expected
