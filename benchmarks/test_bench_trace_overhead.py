@@ -1,0 +1,122 @@
+"""Tracing-overhead regression gates.
+
+The observability plane (``repro.obs``) hooks links, filter tables and the
+protocol event log — but only on observed runs: an unobserved spec swaps in
+no taps, subscribes no listeners and allocates no recorder.  Two gates keep
+that promise honest:
+
+* **disabled-tracing gate** — the canonical flood benchmark (which runs an
+  unobserved spec) must stay within 2% of the throughput recorded in
+  ``BENCH_engine.json``, after normalising both sides by their
+  :func:`repro.perf.bench.calibrate` score.  If a future change makes the
+  hot path pay for tracing even when it is off, this trips.
+* **enabled-tracing sanity** — per-channel overhead is measured in-process
+  (off vs each channel vs everything on) and printed for PERFORMANCE.md;
+  the full-fat configuration must still finish and produce records.
+"""
+
+import dataclasses
+import json
+import os
+import time
+
+from repro.analysis.report import ResultTable
+from repro.experiments import ExperimentRunner, ObserveSpec, default_flood_spec
+from repro.perf.bench import calibrate, run_bench
+
+from benchmarks.conftest import run_once
+
+#: The gate: disabled-tracing throughput must stay within 2% of the record.
+MAX_DISABLED_OVERHEAD = 0.02
+
+#: Path of the checked-in benchmark record (repo root).
+BENCH_JSON = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_engine.json")
+
+
+def _recorded_flood():
+    """(packets_per_sec, calibration_ops_per_sec) from BENCH_engine.json."""
+    with open(BENCH_JSON) as handle:
+        doc = json.load(handle)
+    return (doc["benches"]["flood"]["packets_per_sec"],
+            doc["calibration_ops_per_sec"])
+
+
+def test_disabled_tracing_within_2pct_of_recorded_flood(benchmark):
+    """An unobserved run must not pay for the observability hooks."""
+    recorded_pps, recorded_cal = _recorded_flood()
+    calibration = calibrate()
+    result = run_once(benchmark, run_bench, "flood", repeats=3)
+    # Scale the recorded number to this machine's speed the same way the
+    # seed-baseline gate does, with the same coarse-probe clamp.
+    scale = min(4.0, max(0.25, calibration / recorded_cal))
+    expected = recorded_pps * scale
+    ratio = result.packets_per_sec / expected
+    table = ResultTable("Disabled-tracing gate: flood", ["metric", "value"])
+    table.add_row("packets/sec", f"{result.packets_per_sec:,.0f}")
+    table.add_row("recorded packets/sec", f"{recorded_pps:,.0f}")
+    table.add_row("calibration ops/sec", f"{calibration:,.0f}")
+    table.add_row("recorded calibration ops/sec", f"{recorded_cal:,.0f}")
+    table.add_row("throughput vs record (calibrated)", f"{ratio:.3f}x")
+    table.print()
+    assert ratio >= 1.0 - MAX_DISABLED_OVERHEAD, (
+        f"flood throughput with tracing disabled is {ratio:.3f}x the "
+        f"recorded baseline (gate allows >= {1.0 - MAX_DISABLED_OVERHEAD:.2f}x)"
+        " — the observability hooks are leaking into unobserved runs"
+    )
+
+
+# ----------------------------------------------------------------------
+# per-channel overhead (numbers quoted in PERFORMANCE.md)
+# ----------------------------------------------------------------------
+#: Label -> observe block.  ``all + metrics`` is the full-fat recorder.
+_MODES = (
+    ("tracing off", None),
+    ("aitf-control", ObserveSpec(channels=("aitf-control",))),
+    ("routing", ObserveSpec(channels=("routing",))),
+    ("fault", ObserveSpec(channels=("fault",))),
+    ("packet", ObserveSpec(channels=("packet",))),
+    ("metrics only", ObserveSpec(metrics=True)),
+    ("all + metrics", ObserveSpec(
+        channels=("packet", "train", "aitf-control", "routing", "fault"),
+        metrics=True)),
+)
+
+
+def _time_flood(observe, repeats: int = 2) -> float:
+    """Best wall-clock of ``repeats`` observed/unobserved flood runs."""
+    best = float("inf")
+    for _ in range(repeats):
+        spec = default_flood_spec(attack_pps=1500.0, duration=4.0, seed=0)
+        if observe is not None:
+            spec = dataclasses.replace(spec, observe=observe)
+        execution = ExperimentRunner().prepare(spec)
+        start = time.perf_counter()
+        execution.run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_per_channel_overhead_table(benchmark):
+    """Measure tracing-on overhead per channel and sanity-check the full set."""
+    def measure():
+        return [(label, _time_flood(observe)) for label, observe in _MODES]
+
+    timings = run_once(benchmark, measure)
+    baseline = timings[0][1]
+    table = ResultTable("Tracing overhead: flood (1500 pps, 4 s)",
+                        ["configuration", "wall", "vs off"])
+    for label, wall in timings:
+        table.add_row(label, f"{wall * 1e3:,.0f} ms",
+                      f"{(wall / baseline - 1.0) * 100.0:+.1f}%")
+    table.print()
+
+    # The full-fat run must actually record something on every front.
+    spec = dataclasses.replace(
+        default_flood_spec(attack_pps=1500.0, duration=4.0, seed=0),
+        observe=_MODES[-1][1])
+    execution = ExperimentRunner().prepare(spec)
+    result = execution.run()
+    obs = result.observability
+    assert obs["trace"]["records"] > 0
+    assert obs["metrics"]["counters"]
+    assert obs["protocol_events"].get("filter_installed", 0) >= 1

@@ -25,7 +25,10 @@ from repro.analysis.report import (
     format_seconds,
 )
 
-#: Result metrics shown in rendered tables: (column header, result key, formatter).
+#: Result metrics shown in rendered tables: (column header, result key,
+#: formatter).  Keys may be dotted paths into nested result dicts
+#: (``defense_stats.deployment_locus``); keys absent from a document — old
+#: sweeps predate some fields — render as "-".
 _METRIC_COLUMNS: Tuple[Tuple[str, str, Any], ...] = (
     ("attack@victim", "attack_received_bps", format_bps),
     ("ratio", "effective_bandwidth_ratio", format_ratio),
@@ -34,7 +37,21 @@ _METRIC_COLUMNS: Tuple[Tuple[str, str, Any], ...] = (
      lambda v: format_seconds(v) if v is not None else "never"),
     ("nodes", "nodes_involved", str),
     ("ctrl msgs", "control_messages", str),
+    ("dropped down", "packets_dropped_down",
+     lambda v: "-" if v is None else str(v)),
+    ("deploy locus", "defense_stats.deployment_locus",
+     lambda v: "-" if v is None else str(v)),
 )
+
+
+def metric_value(result: Dict[str, Any], field: str) -> Any:
+    """Look a metric key up in a result dict, following dotted paths."""
+    value: Any = result
+    for part in field.split("."):
+        if not isinstance(value, dict):
+            return None
+        value = value.get(part)
+    return value
 
 
 def axis_value(overrides: Dict[str, Any], axis: str, default: Any = None) -> Any:
@@ -104,7 +121,8 @@ def sweep_tables(doc: Dict[str, Any]) -> List[ResultTable]:
             table.add_row(
                 axis_value(overrides, row_label, cell.get("index", "-")),
                 cell.get("seed", "-"),
-                *(fmt(result.get(field)) for _, field, fmt in _METRIC_COLUMNS),
+                *(fmt(metric_value(result, field))
+                  for _, field, fmt in _METRIC_COLUMNS),
             )
         tables.append(table)
     return tables
@@ -120,11 +138,13 @@ def sweep_flat_table(doc: Dict[str, Any]) -> ResultTable:
     for cell in doc.get("cells", []):
         overrides = cell.get("overrides", {})
         result = cell.get("result", {})
+        metrics = [metric_value(result, field)
+                   for _, field, _ in _METRIC_COLUMNS]
         table.add_row(
             cell.get("index", ""),
             *(axis_value(overrides, axis, "") for axis in axes),
             cell.get("seed", ""),
-            *(result.get(field, "") for _, field, _ in _METRIC_COLUMNS),
+            *("" if value is None else value for value in metrics),
         )
     return table
 
@@ -137,7 +157,8 @@ def compare_table(results: Sequence[Dict[str, Any]]) -> ResultTable:
     for result in results:
         table.add_row(
             result.get("defense", "?"), result.get("seed", "-"),
-            *(fmt(result.get(field)) for _, field, fmt in _METRIC_COLUMNS),
+            *(fmt(metric_value(result, field))
+              for _, field, fmt in _METRIC_COLUMNS),
         )
     return table
 
@@ -151,7 +172,7 @@ def result_table(result: Dict[str, Any]) -> ResultTable:
     table.add_row("seed", result.get("seed", "-"))
     table.add_row("duration", format_seconds(result.get("duration", 0.0)))
     for name, field, fmt in _METRIC_COLUMNS:
-        table.add_row(name, fmt(result.get(field)))
+        table.add_row(name, fmt(metric_value(result, field)))
     return table
 
 

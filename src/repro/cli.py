@@ -17,6 +17,14 @@ the unified experiment API (:mod:`repro.experiments`)::
     python -m repro report   sweep.json --plot --figures-dir figures
     python -m repro paper    --quick    # every committed grid -> figures/
 
+the observability plane (:mod:`repro.obs`)::
+
+    python -m repro trace record --spec experiment.json --output trace.jsonl
+    python -m repro trace show   trace.jsonl --channel aitf-control
+    python -m repro trace filter trace.jsonl --channel fault --output f.jsonl
+    python -m repro trace diff   packet.jsonl train.jsonl
+    python -m repro profile --spec experiment.json --top 15
+
 and keeps the original scenario families as thin shims over the same API::
 
     python -m repro flood    --duration 10 --attack-pps 1500 --seed 7
@@ -26,12 +34,16 @@ and keeps the original scenario families as thin shims over the same API::
 
 Each subcommand prints a small result table and exits 0; `--json` switches
 the output to machine-readable JSON for scripting.  Every subcommand takes
-``--seed`` so any run is reproducible from its command line.
+``--seed`` so any run is reproducible from its command line.  Result tables
+go to stdout; diagnostics (per-cell sweep progress, "wrote ..." notices) go
+through the shared logger to stderr and obey the global ``--verbose`` /
+``--quiet`` flags.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import sys
@@ -49,12 +61,23 @@ from repro.analysis.report import (
 from repro.core.config import AITFConfig
 from repro.experiments import (
     DEFENSES,
+    OBSERVE_CHANNELS,
     TOPOLOGIES,
     ExperimentRunner,
     ExperimentSpec,
+    ObserveSpec,
     SweepRunner,
     default_flood_spec,
     provenance_sidecar_path,
+)
+from repro.obs import (
+    FlightRecorder,
+    diff_timelines,
+    format_cell_line,
+    get_logger,
+    load_trace,
+    provenance_summary,
+    setup_logging,
 )
 from repro.scenarios.flood_defense import FloodDefenseScenario
 from repro.scenarios.onoff import OnOffScenario
@@ -62,6 +85,8 @@ from repro.scenarios.resources import (
     AttackerGatewayResourceScenario,
     VictimGatewayResourceScenario,
 )
+
+logger = get_logger("cli")
 
 
 def _parse_value(text: str) -> Any:
@@ -158,6 +183,8 @@ def _experiment_table(result) -> ResultTable:
                   if result.time_to_first_block is not None else "never")
     table.add_row("defense nodes involved", result.nodes_involved)
     table.add_row("control messages", result.control_messages)
+    if result.packets_dropped_down:
+        table.add_row("packets dropped (link down)", result.packets_dropped_down)
     for key, value in sorted(result.defense_stats.items()):
         if key in ("backend", "time_to_first_block", "nodes_involved",
                    "control_messages"):
@@ -209,6 +236,14 @@ def run_compare(args: argparse.Namespace) -> int:
     table.add_note("same spec and seed for every backend (paired comparison)")
     table.print()
     return 0
+
+
+def _log_cell_progress(info: Dict[str, Any]) -> None:
+    """SweepRunner progress callback: one INFO line per finished cell."""
+    logger.info("%s", format_cell_line(
+        info["position"], info["total"], info["spec_hash"],
+        wall_seconds=info.get("wall_seconds"),
+        cached=bool(info.get("cached"))))
 
 
 def run_sweep(args: argparse.Namespace) -> int:
@@ -305,9 +340,11 @@ def run_sweep(args: argparse.Namespace) -> int:
             raise SystemExit(f"repro sweep: {exc}") from exc
         mode_note = f"cluster {args.cluster}"
     else:
-        sweep = SweepRunner(workers=args.workers).run_grid(
+        sweep = SweepRunner(workers=args.workers,
+                            progress=_log_cell_progress).run_grid(
             base, grid, reseed=reseed)
         mode_note = f"{args.workers} workers"
+    logger.info("%s", provenance_summary(sweep.provenance))
     doc = sweep.to_dict()
     if args.output:
         sweep.write(args.output)
@@ -460,7 +497,7 @@ def run_report(args: argparse.Namespace) -> int:
     elif args.figures_dir or args.request:
         raise SystemExit("--figures-dir/--request only apply with --plot")
     if written:
-        print(f"wrote {', '.join(written)}")
+        logger.info("wrote %s", ", ".join(written))
     elif not args.plot:
         print(markdown, end="")
     return 0
@@ -738,7 +775,159 @@ def _run_sweep_bench(args: argparse.Namespace) -> int:
                       f"{case['cells_per_sec']:.2f}", case["cache_hits"])
     table.print()
     if args.output:
-        print(f"wrote {args.output}")
+        logger.info("wrote %s", args.output)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# observability subcommands (the flight recorder and friends)
+# ----------------------------------------------------------------------
+def _load_trace_or_die(path: str) -> tuple:
+    try:
+        return load_trace(path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro trace: {exc}") from exc
+
+
+def run_trace_record(args: argparse.Namespace) -> int:
+    """``repro trace record``: run one spec with tracing on, write JSONL."""
+    spec = _base_spec(args)
+    names = [c.strip() for c in args.channels.split(",") if c.strip()]
+    if names == ["all"]:
+        names = list(OBSERVE_CHANNELS)
+    try:
+        observe = ObserveSpec(channels=tuple(dict.fromkeys(names)),
+                              metrics=args.metrics,
+                              sample_period=args.sample_period)
+    except ValueError as exc:
+        raise SystemExit(f"repro trace record: {exc}") from exc
+    spec = dataclasses.replace(spec, observe=observe)
+    execution = ExperimentRunner().prepare(spec)
+    result = execution.run()
+    recorder = execution.observer.recorder
+    recorder.write_jsonl(args.output, spec,
+                         extra={"attack_start": execution.attack_window_start})
+    logger.info("wrote %s", args.output)
+    if args.json:
+        print(json.dumps({
+            "trace": args.output,
+            "records": len(recorder),
+            "channels": recorder.counts(),
+            "time_to_first_block": result.time_to_first_block,
+        }, indent=2, sort_keys=True))
+        return 0
+    table = ResultTable(f"Trace: {spec.name} [{spec.engine.mode}]",
+                        ["metric", "value"])
+    table.add_row("trace file", args.output)
+    table.add_row("records", len(recorder))
+    for channel, count in sorted(recorder.counts().items()):
+        table.add_row(f"channel {channel}", count)
+    table.add_row("time to first block",
+                  format_seconds(result.time_to_first_block)
+                  if result.time_to_first_block is not None else "never")
+    table.print()
+    return 0
+
+
+def run_trace_show(args: argparse.Namespace) -> int:
+    """``repro trace show``: print a recorded trace — reconstructed AITF
+    protocol timelines for ``aitf-control`` (the default), raw records for
+    any other channel."""
+    header, records = _load_trace_or_die(args.trace)
+    channel = args.channel or "aitf-control"
+    selected = [r for r in records if r.get("ch") == channel]
+    if args.json:
+        print(json.dumps({"header": header, "records": selected},
+                         indent=2, sort_keys=True))
+        return 0
+    print(f"trace {args.trace}: {header.get('name')} "
+          f"seed={header.get('seed')} engine={header.get('engine')} "
+          f"spec={str(header.get('spec_hash'))[:12]}")
+    if channel == "aitf-control":
+        recorder = FlightRecorder(selected)
+        timelines = recorder.select(victim=args.victim or None,
+                                    attacker=args.attacker or None)
+        if not timelines:
+            print("no aitf-control requests in this trace"
+                  + (" (after filters)" if args.victim or args.attacker
+                     else ""))
+        for timeline in timelines:
+            print()
+            for line in timeline.describe():
+                print(line)
+        return 0
+    if args.victim or args.attacker:
+        raise SystemExit(
+            "repro trace show: --victim/--attacker only apply to the "
+            "aitf-control timeline view")
+    for record in selected:
+        extras = [f"{key}={record[key]}" for key in sorted(record)
+                  if key not in ("t", "ch", "ev")]
+        print(f"{record['t']:>10.6f}s  {record['ev']:<16} "
+              + "  ".join(extras))
+    if not selected:
+        print(f"no records on channel {channel!r}")
+    return 0
+
+
+def run_trace_filter(args: argparse.Namespace) -> int:
+    """``repro trace filter``: write a sub-trace keeping only some channels."""
+    header, records = _load_trace_or_die(args.trace)
+    channels = [c.strip() for c in args.channel.split(",") if c.strip()]
+    unknown = sorted(set(channels) - set(OBSERVE_CHANNELS))
+    if unknown:
+        raise SystemExit("repro trace filter: unknown channel(s): "
+                         + ", ".join(unknown))
+    kept = [r for r in records if r.get("ch") in channels]
+    header = dict(header)
+    header["channels"] = [c for c in header.get("channels", channels)
+                          if c in channels]
+    with open(args.output, "w") as handle:
+        for obj in [header, *kept]:
+            handle.write(json.dumps(obj, sort_keys=True,
+                                    separators=(",", ":")))
+            handle.write("\n")
+    if args.json:
+        print(json.dumps({"trace": args.output, "records": len(kept),
+                          "of": len(records)}, sort_keys=True))
+    else:
+        print(f"{args.output}: kept {len(kept)} of {len(records)} records "
+              f"({', '.join(channels)})")
+    return 0
+
+
+def run_trace_diff(args: argparse.Namespace) -> int:
+    """``repro trace diff``: compare two traces' AITF protocol timelines
+    (exit 1 when they drift — the packet-vs-train parity check)."""
+    recorder_a = FlightRecorder(_load_trace_or_die(args.a)[1])
+    recorder_b = FlightRecorder(_load_trace_or_die(args.b)[1])
+    diffs = diff_timelines(recorder_a, recorder_b, tolerance=args.tolerance)
+    if args.json:
+        print(json.dumps({
+            "differences": diffs,
+            "timelines": [len(recorder_a.timelines()),
+                          len(recorder_b.timelines())],
+        }, indent=2, sort_keys=True))
+        return 1 if diffs else 0
+    if not diffs:
+        print(f"traces agree: {len(recorder_a.timelines())} timeline(s), "
+              f"tolerance {args.tolerance}s")
+        return 0
+    table = ResultTable(f"Trace diff: {args.a} vs {args.b}",
+                        ["request", "field", "a", "b"])
+    for diff in diffs:
+        table.add_row(diff["request"], diff["field"],
+                      diff["a"], diff["b"])
+    table.print()
+    return 1
+
+
+def run_profile(args: argparse.Namespace) -> int:
+    """``repro profile``: run one spec under cProfile and print hotspots."""
+    from repro.perf.profiling import profile_spec
+
+    spec = _base_spec(args)
+    print(profile_spec(spec, top=args.top, sort=args.sort))
     return 0
 
 
@@ -781,6 +970,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--json", action="store_true",
                         help="print the raw result as JSON instead of a table")
+    parser.add_argument("--verbose", "-v", action="count", default=0,
+                        help="debug-level diagnostics on stderr (repeatable)")
+    parser.add_argument("--quiet", "-q", action="store_true",
+                        help="suppress informational diagnostics "
+                             "(warnings and errors only)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run = subparsers.add_parser(
@@ -973,6 +1167,75 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seed for the benchmark workloads "
                             "(default: the recorded-baseline seeds)")
     bench.set_defaults(func=run_bench)
+
+    trace = subparsers.add_parser(
+        "trace", help="record and inspect structured experiment traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    record = trace_sub.add_parser(
+        "record",
+        help="run one spec with tracing enabled and write a JSONL trace")
+    _add_spec_flags(record)
+    record.add_argument("--defense", default="",
+                        choices=["", *DEFENSES.names()],
+                        help="defense backend registry name")
+    record.add_argument("--seed", type=int, default=None)
+    record.add_argument("--channels", default="aitf-control,routing,fault",
+                        help="comma-separated trace channels, or 'all' "
+                             f"(available: {', '.join(OBSERVE_CHANNELS)}; "
+                             "packet/train are per-delivery and large)")
+    record.add_argument("--metrics", action="store_true",
+                        help="also run the metrics registry with cadence "
+                             "sampling")
+    record.add_argument("--sample-period", type=float, default=0.1,
+                        help="metrics sampling cadence in simulated seconds")
+    record.add_argument("--output", default="trace.jsonl",
+                        help="trace file to write")
+    record.set_defaults(func=run_trace_record)
+
+    show = trace_sub.add_parser(
+        "show", help="print a trace: AITF protocol timelines for "
+                     "aitf-control (default), raw records otherwise")
+    show.add_argument("trace", help="a JSONL file from `repro trace record`")
+    show.add_argument("--channel", default="",
+                      choices=("", *OBSERVE_CHANNELS),
+                      help="channel to show (default: aitf-control)")
+    show.add_argument("--victim", default="",
+                      help="only timelines for this victim node")
+    show.add_argument("--attacker", default="",
+                      help="only timelines for this attacker address")
+    show.set_defaults(func=run_trace_show)
+
+    tfilter = trace_sub.add_parser(
+        "filter", help="write a sub-trace keeping only some channels")
+    tfilter.add_argument("trace", help="the input trace file")
+    tfilter.add_argument("--channel", required=True,
+                         help="comma-separated channels to keep")
+    tfilter.add_argument("--output", required=True,
+                         help="the sub-trace file to write")
+    tfilter.set_defaults(func=run_trace_filter)
+
+    tdiff = trace_sub.add_parser(
+        "diff", help="compare two traces' AITF timelines (exit 1 on drift)")
+    tdiff.add_argument("a", help="first trace file")
+    tdiff.add_argument("b", help="second trace file")
+    tdiff.add_argument("--tolerance", type=float, default=0.0,
+                       help="allowed per-milestone drift in seconds")
+    tdiff.set_defaults(func=run_trace_diff)
+
+    profile = subparsers.add_parser(
+        "profile", help="run one spec under cProfile and print the hotspots")
+    _add_spec_flags(profile)
+    profile.add_argument("--defense", default="",
+                         choices=["", *DEFENSES.names()],
+                         help="defense backend registry name")
+    profile.add_argument("--seed", type=int, default=None)
+    profile.add_argument("--top", type=int, default=20,
+                         help="hotspot rows to print")
+    profile.add_argument("--sort", default="tottime",
+                         choices=("tottime", "cumulative", "calls"),
+                         help="profile sort order")
+    profile.set_defaults(func=run_profile)
     return parser
 
 
@@ -980,6 +1243,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    setup_logging(verbose=args.verbose, quiet=args.quiet)
     return args.func(args)
 
 

@@ -34,6 +34,9 @@ import os
 from typing import Any, Dict, List, Optional
 
 from repro.cluster.fsqueue import read_json, write_json_atomic
+from repro.obs.logsetup import get_logger
+
+logger = get_logger("cluster.cache")
 
 #: Version tag written into cache entries.
 CACHE_SCHEMA = "cell_cache/v1"
@@ -90,8 +93,14 @@ class CellCache:
         record), or ``None`` on a miss — including entries computed by a
         different version of the code, which must not replay."""
         entry = read_json(self.path_for(key))
-        if entry is None or entry.get("code") != code_fingerprint():
+        if entry is None:
+            logger.debug("cell cache miss %s", key[:12])
             return None
+        if entry.get("code") != code_fingerprint():
+            logger.debug("cell cache stale %s (code fingerprint changed)",
+                         key[:12])
+            return None
+        logger.debug("cell cache hit %s", key[:12])
         return entry
 
     def get_result(self, key: str) -> Optional[Dict[str, Any]]:

@@ -118,6 +118,15 @@ class ProtocolEventLog:
         """Histogram of event types."""
         return Counter(e.event_type for e in self._events)
 
+    def counts_by_type(self) -> Dict[str, int]:
+        """:meth:`counts` keyed by event-type *value*, sorted by name.
+
+        JSON-ready (plain strings, stable order), so observability
+        summaries can embed it without touching :class:`EventType`.
+        """
+        histogram = Counter(e.event_type.value for e in self._events)
+        return dict(sorted(histogram.items()))
+
     def first(self, event_type: EventType, *, node: Optional[str] = None,
               request_id: Optional[int] = None) -> Optional[ProtocolEvent]:
         """Earliest event matching the criteria, or None."""

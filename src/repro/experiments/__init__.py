@@ -49,11 +49,13 @@ from repro.experiments.runner import (
     ExperimentRunner,
 )
 from repro.experiments.spec import (
+    OBSERVE_CHANNELS,
     SPEC_SCHEMA,
     CollectorSpec,
     DefenseSpec,
     EngineSpec,
     ExperimentSpec,
+    ObserveSpec,
     TopologySpec,
     WorkloadSpec,
     apply_override,
@@ -100,6 +102,8 @@ __all__ = [
     "WorkloadSpec",
     "CollectorSpec",
     "EngineSpec",
+    "ObserveSpec",
+    "OBSERVE_CHANNELS",
     "ExperimentSpec",
     "apply_override",
     "default_flood_spec",

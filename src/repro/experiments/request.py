@@ -31,7 +31,6 @@ from __future__ import annotations
 
 import json
 import os
-import sys
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional
 
@@ -133,6 +132,8 @@ def resolve_request(request: SweepRequest, *, quick: bool,
     quick run is asked of a file that committed no quick variant (shared by
     ``repro sweep --request`` and ``repro paper``)."""
     if quick and not request.has_quick:
-        print(f"warning: {source} has no 'quick' section; running its "
-              "full grid", file=sys.stderr)
+        from repro.obs.logsetup import get_logger
+
+        get_logger("experiments.request").warning(
+            "%s has no 'quick' section; running its full grid", source)
     return request.resolve(quick=quick)

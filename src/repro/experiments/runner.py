@@ -56,9 +56,17 @@ class ExperimentResult:
     control_messages: int
     victim_gateway_peak_filters: Optional[float]
     attacker_gateway_peak_filters: Optional[float]
+    #: Packets lost to administratively-down links (fault injection),
+    #: summed over every link direction — 0 on fault-free runs.  Surfaced
+    #: here so ``repro report`` tables can show it without digging through
+    #: per-link stats.
+    packets_dropped_down: int = 0
     defense_stats: Dict[str, Any] = field(default_factory=dict)
     workload_stats: List[Dict[str, Any]] = field(default_factory=list)
     collector_stats: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Trace-channel counts and the metrics-registry snapshot when the
+    #: spec's ``observe`` block enabled anything; empty otherwise.
+    observability: Dict[str, Any] = field(default_factory=dict)
     spec: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -123,6 +131,17 @@ class ExperimentExecution:
             spec, self.handle.topology,
             deployment=getattr(self.backend, "deployment", None))
 
+        # Observability plane (None for the overwhelmingly common
+        # unobserved spec: no recorder, no registry, and — because every
+        # hook installs by swapping bound methods or subscribing — no added
+        # cost anywhere on the hot paths).
+        self.observer = None
+        self.metrics = None
+        if spec.observe.enabled:
+            from repro.obs import ExperimentObserver
+            self.observer = ExperimentObserver(self)
+            self.metrics = self.observer.metrics
+
         # Meters: one flow/tag meter per attack workload, one goodput meter,
         # and (optionally) occupancy samplers at both gateways.
         victim = self.handle.victim
@@ -186,6 +205,8 @@ class ExperimentExecution:
         """Run the simulation to ``until`` (default: the spec's duration)."""
         duration = until if until is not None else self.spec.duration
         if self._ran_until is None:
+            if self.observer is not None:
+                self.observer.start(self, duration)
             if self.fault_injector is not None:
                 self.fault_injector.start()
             for workload in self.workloads:
@@ -212,6 +233,19 @@ class ExperimentExecution:
         legit_offered = sum(w.offered_bps for w in self.legit_workloads())
         legit_goodput = self.goodput_meter.goodput_bps(*window)
         defense_stats = self.backend.collect(self)
+        collector_stats = {c.id: c.collect(self) for c in self.collectors}
+        if self.metrics is not None:
+            from repro.obs.metrics import publish_stats
+            publish_stats(self.metrics, "defense", defense_stats)
+            for collector_id, stats in collector_stats.items():
+                publish_stats(self.metrics, f"collector.{collector_id}", stats)
+        dropped_down = 0
+        if self.fault_injector is not None:
+            # Only fault runs can down a link, so everyone else skips the
+            # per-link sweep entirely.
+            for link in self.handle.topology.links:
+                dropped_down += (link.stats_toward(link.a).packets_dropped_down
+                                 + link.stats_toward(link.b).packets_dropped_down)
         return ExperimentResult(
             schema=RESULT_SCHEMA,
             name=self.spec.name,
@@ -234,9 +268,12 @@ class ExperimentExecution:
             if self.victim_gw_occupancy is not None else None,
             attacker_gateway_peak_filters=self.attacker_gw_occupancy.peak
             if self.attacker_gw_occupancy is not None else None,
+            packets_dropped_down=dropped_down,
             defense_stats=defense_stats,
             workload_stats=[w.stats() for w in self.workloads],
-            collector_stats={c.id: c.collect(self) for c in self.collectors},
+            collector_stats=collector_stats,
+            observability=(self.observer.summary(self)
+                           if self.observer is not None else {}),
             spec=self.spec.to_dict(),
         )
 

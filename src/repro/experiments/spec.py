@@ -180,6 +180,61 @@ class FaultSpec:
                    node=data.get("node"))
 
 
+#: Trace channels an ``observe`` block may enable (see :mod:`repro.obs`).
+OBSERVE_CHANNELS = ("packet", "train", "aitf-control", "routing", "fault")
+
+
+@dataclass
+class ObserveSpec:
+    """What the observability plane records during a run (see :mod:`repro.obs`).
+
+    ``channels`` enables structured trace channels; ``metrics`` turns on the
+    metrics registry (counters / gauges / sampled series); ``sample_period``
+    is the gauge-sampling cadence in seconds.  The empty default is omitted
+    from the serialized spec, so specs that observe nothing serialize (and
+    therefore hash) exactly as they did before observability existed — no
+    golden value, cell-cache key or committed sweep document moves.
+    """
+
+    channels: Tuple[str, ...] = ()
+    metrics: bool = False
+    sample_period: float = 0.1
+
+    def __post_init__(self) -> None:
+        self.channels = tuple(self.channels)
+        unknown = sorted(set(self.channels) - set(OBSERVE_CHANNELS))
+        if unknown:
+            raise ValueError(f"unknown observe channel(s): {', '.join(unknown)} "
+                             f"(choose from {', '.join(OBSERVE_CHANNELS)})")
+        self.sample_period = float(self.sample_period)
+        if self.sample_period <= 0:
+            raise ValueError(f"observe sample_period must be positive, "
+                             f"got {self.sample_period}")
+
+    @property
+    def enabled(self) -> bool:
+        """True when the run should build any observability machinery."""
+        return bool(self.channels) or self.metrics
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {}
+        if self.channels:
+            data["channels"] = list(self.channels)
+        if self.metrics:
+            data["metrics"] = True
+        if self.sample_period != 0.1:
+            data["sample_period"] = self.sample_period
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ObserveSpec":
+        _reject_unknown_keys(data, {"channels", "metrics", "sample_period"},
+                             "observe")
+        return cls(channels=tuple(data.get("channels", ())),
+                   metrics=bool(data.get("metrics", False)),
+                   sample_period=float(data.get("sample_period", 0.1)))
+
+
 #: Engine modes a spec may select.
 ENGINE_MODES = ("packet", "train")
 
@@ -265,6 +320,11 @@ class ExperimentSpec:
         router crashes) executed by :mod:`repro.faults`.  Empty (the
         default) is omitted from the serialized form, so specs without
         faults hash exactly as before and pay no fault-machinery cost.
+    observe:
+        Observability selection (:class:`ObserveSpec`): trace channels and
+        the metrics registry, recorded by :mod:`repro.obs`.  The empty
+        default is omitted from the serialized form — specs that observe
+        nothing hash exactly as before, and the hot paths install no hooks.
     sample_occupancy:
         Attach filter-table occupancy samplers at the victim's and
         attacker's gateways (the flood experiments want this; pure
@@ -282,6 +342,7 @@ class ExperimentSpec:
     seed: int = 0
     engine: EngineSpec = field(default_factory=EngineSpec)
     faults: Tuple[FaultSpec, ...] = ()
+    observe: ObserveSpec = field(default_factory=ObserveSpec)
     sample_occupancy: bool = True
 
     def __post_init__(self) -> None:
@@ -299,10 +360,10 @@ class ExperimentSpec:
     def to_dict(self) -> Dict[str, Any]:
         """Plain-data form, including the schema tag.
 
-        ``faults`` appears only when non-empty: fault-free specs serialize
-        (and therefore hash) exactly as they did before fault injection
-        existed, which keeps the cluster cell cache and every golden
-        determinism value valid.
+        ``faults`` and ``observe`` appear only when non-empty: specs with no
+        faults and nothing observed serialize (and therefore hash) exactly
+        as they did before either subsystem existed, which keeps the cluster
+        cell cache and every golden determinism value valid.
         """
         data = {
             "schema": SPEC_SCHEMA,
@@ -320,6 +381,8 @@ class ExperimentSpec:
         }
         if self.faults:
             data["faults"] = [f.to_dict() for f in self.faults]
+        if self.observe.enabled:
+            data["observe"] = self.observe.to_dict()
         return data
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -336,7 +399,7 @@ class ExperimentSpec:
             )
         known = {"schema", "name", "topology", "defense", "workloads",
                  "collectors", "aitf", "detection_delay", "duration", "seed",
-                 "engine", "faults", "sample_occupancy"}
+                 "engine", "faults", "observe", "sample_occupancy"}
         _reject_unknown_keys(data, known, "experiment")
         return cls(
             name=data.get("name", "experiment"),
@@ -353,6 +416,7 @@ class ExperimentSpec:
             engine=EngineSpec.from_dict(data.get("engine", {})),
             faults=tuple(FaultSpec.from_dict(f)
                          for f in data.get("faults", [])),
+            observe=ObserveSpec.from_dict(data.get("observe", {})),
             sample_occupancy=bool(data.get("sample_occupancy", True)),
         )
 

@@ -31,7 +31,7 @@ import json
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.spec import ExperimentSpec, spec_hash
@@ -270,10 +270,17 @@ class SweepRunner:
     class's expansion and merge code.
     """
 
-    def __init__(self, workers: int = 1) -> None:
+    def __init__(self, workers: int = 1,
+                 progress: Optional[Callable[[Dict[str, Any]], None]] = None
+                 ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        #: Called once per finished cell with a plain info dict (position,
+        #: total, index, spec_hash, seed, wall_seconds, cached) — the sweep
+        #: progress plane.  Pool runs report in completion order; progress
+        #: never touches results, which always merge in grid order.
+        self.progress = progress
 
     def run_grid(self, base: ExperimentSpec, grid: Mapping[str, Sequence[Any]],
                  *, reseed: bool = True) -> SweepResult:
@@ -287,8 +294,21 @@ class SweepRunner:
                   grid: Optional[Dict[str, List[Any]]] = None) -> SweepResult:
         """Run pre-expanded cells; results come back in cell order."""
         spec_dicts = [cell.spec.to_dict() for cell in cells]
+        notify = None
+        if self.progress is not None:
+            total = len(cells)
+
+            def notify(position: int, cell_wall: float) -> None:
+                cell = cells[position]
+                self.progress({
+                    "position": position, "total": total,
+                    "index": cell.index, "spec_hash": cell.spec_hash,
+                    "seed": cell.spec.seed, "wall_seconds": cell_wall,
+                    "cached": False,
+                })
+
         start = time.perf_counter()
-        timed = self._execute_all(spec_dicts)
+        timed = self._execute_all(spec_dicts, notify)
         wall = time.perf_counter() - start
         results = [result for result, _ in timed]
         base_spec = base_spec or {}
@@ -312,10 +332,11 @@ class SweepRunner:
         )
 
     def _execute_all(
-            self, spec_dicts: List[Dict[str, Any]]
+            self, spec_dicts: List[Dict[str, Any]],
+            notify: Optional[Callable[[int, float], None]] = None,
     ) -> List[Tuple[Dict[str, Any], float]]:
         if self.workers <= 1 or len(spec_dicts) <= 1:
-            return [_execute_cell_timed(d) for d in spec_dicts]
+            return self._execute_serial(spec_dicts, notify)
         # The pool is keyed (and sized) by the *requested* worker count, not
         # clamped to the grid: differently sized grids then reuse one pool
         # instead of accumulating a pool per distinct min(workers, cells).
@@ -326,11 +347,30 @@ class SweepRunner:
         chunksize = max(1, math.ceil(len(spec_dicts) / (busy * 4)))
         try:
             pool = _shared_pool(self.workers)
-            return list(pool.map(_execute_cell_timed, spec_dicts,
-                                 chunksize=chunksize))
+            timed: List[Tuple[Dict[str, Any], float]] = []
+            for position, entry in enumerate(
+                    pool.map(_execute_cell_timed, spec_dicts,
+                             chunksize=chunksize)):
+                timed.append(entry)
+                if notify is not None:
+                    notify(position, entry[1])
+            return timed
         except (OSError, PermissionError, concurrent.futures.process.BrokenProcessPool):
             # Sandboxes without fork/spawn still get a correct (serial)
             # sweep; a broken pool is discarded so the next sweep retries
             # from a fresh one.
             _discard_pool(self.workers)
-            return [_execute_cell_timed(d) for d in spec_dicts]
+            return self._execute_serial(spec_dicts, notify)
+
+    @staticmethod
+    def _execute_serial(
+            spec_dicts: List[Dict[str, Any]],
+            notify: Optional[Callable[[int, float], None]] = None,
+    ) -> List[Tuple[Dict[str, Any], float]]:
+        timed = []
+        for position, spec_data in enumerate(spec_dicts):
+            entry = _execute_cell_timed(spec_data)
+            timed.append(entry)
+            if notify is not None:
+                notify(position, entry[1])
+        return timed

@@ -25,7 +25,7 @@ faults never perturbs workload randomness.  Every event appends one plain
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.net.link import Link
 from repro.router.nodes import BorderRouter, NetworkNode
@@ -60,6 +60,10 @@ class FaultInjector:
     deployment: Any = None
     #: One entry per fired event, in firing order; collectors report these.
     timeline: List[Dict[str, Any]] = field(default_factory=list)
+    #: Callbacks invoked with each timeline record as it is appended — the
+    #: observability plane's ``fault``/``routing`` channels attach here.
+    #: Empty (and never iterated per-packet) on unobserved runs.
+    observers: List[Callable[[Dict[str, Any]], None]] = field(default_factory=list)
 
     @classmethod
     def from_spec(cls, spec, topology: Topology, *, deployment: Any = None
@@ -166,6 +170,8 @@ class FaultInjector:
             record.update(anchors_recomputed=0, dijkstras=0,
                           routes_installed=0, routes_removed=0)
         self.timeline.append(record)
+        for observer in self.observers:
+            observer(record)
 
     def _wipe_router_state(self, node: BorderRouter) -> Dict[str, int]:
         """A crash loses volatile state: wire-speed filters and, when an

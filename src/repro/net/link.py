@@ -185,6 +185,34 @@ class _Pipe:
         stats.bytes_delivered += packet.size
         self._sink.receive_packet(packet, self._link)
 
+    def tap(self, packet_observer=None, train_observer=None) -> None:
+        """Observe deliveries on this pipe (the tracing plane's link hook).
+
+        Installs by overriding the bound delivery attributes — the same
+        idiom ``enable_train_mode`` and ``set_down`` use for the send path —
+        so untapped pipes (every non-observed run) pay exactly zero.  The
+        observer fires at delivery time, before the sink forwards, with
+        ``(link, sink, packet_or_train)``.
+        """
+        link = self._link
+        sink = self._sink
+        if packet_observer is not None:
+            inner_deliver = self._deliver
+
+            def _traced_deliver(packet: Packet) -> None:
+                packet_observer(link, sink, packet)
+                inner_deliver(packet)
+
+            self._deliver = _traced_deliver  # type: ignore[method-assign]
+        if train_observer is not None:
+            inner_deliver_train = self._deliver_train
+
+            def _traced_deliver_train(train: PacketTrain) -> None:
+                train_observer(link, sink, train)
+                inner_deliver_train(train)
+
+            self._deliver_train = _traced_deliver_train  # type: ignore[method-assign]
+
     # ------------------------------------------------------------------
     # fault injection: administrative up/down
     # ------------------------------------------------------------------
@@ -534,6 +562,15 @@ class Link:
         """
         self._pipe_to_b.enable_train_mode()
         self._pipe_to_a.enable_train_mode()
+
+    def tap(self, packet_observer=None, train_observer=None) -> None:
+        """Observe deliveries in both directions (see :meth:`_Pipe.tap`).
+
+        Only observed runs call this; a link that is never tapped carries
+        no tracing code on its delivery path at all.
+        """
+        self._pipe_to_b.tap(packet_observer, train_observer)
+        self._pipe_to_a.tap(packet_observer, train_observer)
 
     # ------------------------------------------------------------------
     # fault injection

@@ -1,0 +1,61 @@
+"""Shared logging configuration for the CLI and library diagnostics.
+
+Everything under the ``repro`` logger namespace goes to stderr, so program
+*output* (tables, JSON documents, figures) on stdout stays machine-readable
+while diagnostics ("wrote sweep.json", cache hits, per-cell progress) are
+human-facing and can be silenced.  The CLI's global flags map to levels:
+
+* default — INFO ("wrote ...", sweep progress, warnings);
+* ``--verbose`` — DEBUG (cache decisions, per-cell detail);
+* ``--quiet`` — WARNING and above only.
+
+Library code gets its logger via :func:`get_logger` and never calls
+``basicConfig`` — an embedding application keeps control of handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+#: Root of the package's logger namespace.
+ROOT_LOGGER = "repro"
+
+
+def get_logger(name: str = ROOT_LOGGER) -> logging.Logger:
+    """The logger for ``name`` (dotted names nest under ``repro``)."""
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def setup_logging(verbose: int = 0, quiet: bool = False) -> logging.Logger:
+    """Configure the ``repro`` logger for a CLI invocation.
+
+    Idempotent: re-invocations (tests calling ``main()`` repeatedly) adjust
+    the level instead of stacking handlers.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    if not any(isinstance(h, _CliHandler) for h in logger.handlers):
+        handler = _CliHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(handler)
+        logger.propagate = False
+    if quiet:
+        level = logging.WARNING
+    elif verbose > 0:
+        level = logging.DEBUG
+    else:
+        level = logging.INFO
+    logger.setLevel(level)
+    return logger
+
+
+class _CliHandler(logging.StreamHandler):
+    """Marker subclass so setup stays idempotent across main() calls."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        # The interpreter may have replaced sys.stderr (pytest capture);
+        # always write to the current one.
+        self.stream = sys.stderr
+        super().emit(record)

@@ -1,0 +1,163 @@
+"""Structured trace recording: deterministic JSONL on named channels.
+
+A :class:`TraceRecorder` buffers flat dict records in emission order — which
+is simulation event order, so a trace of a seeded run is a pure function of
+the spec.  :meth:`TraceRecorder.write_jsonl` serializes one JSON object per
+line with sorted keys and fixed separators; re-running the same spec yields
+a byte-identical file (pinned by tests/test_obs.py).
+
+Line 1 is a header object carrying the trace schema, the spec's name, seed
+and content hash, the engine mode and the attack window start — everything
+the flight recorder and ``repro trace diff`` need to line two traces up.
+No wall-clock value ever enters a trace.
+
+Record shape (all channels)::
+
+    {"t": <sim time>, "ch": <channel>, "ev": <event name>, ...fields}
+
+Channels:
+
+* ``packet`` — per-packet link deliveries: link, receiving node, flow
+  endpoints, size, kind.
+* ``train`` — aggregated-train link deliveries: link, node, count, spacing.
+* ``aitf-control`` — every protocol-event-log record (requests, filters,
+  handshakes, escalations, disconnections) with its details flattened in.
+* ``routing`` — route churn: per-fault reroute deltas and PATH_CHANGED
+  re-targeting.
+* ``fault`` — the fault injector's timeline (link/router state flips).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.experiments.spec import OBSERVE_CHANNELS
+
+#: Version tag written into trace headers; bump on incompatible change.
+TRACE_SCHEMA = "trace/v1"
+
+#: Reserved top-level record keys; event detail fields may not collide.
+_RESERVED = ("t", "ch", "ev")
+
+
+class TraceRecorder:
+    """Buffers trace records for a set of enabled channels.
+
+    ``emit`` is the single write path every hook funnels into; it appends a
+    flat dict, so a record costs one dict build and one list append.  The
+    recorder never samples or reorders — what you read back is exactly what
+    the simulation emitted, in order.
+
+    ``max_records`` bounds the buffer (oldest records are *not* evicted; the
+    recorder simply stops appending and counts the overflow, so the head of
+    the trace — where the protocol timeline lives — is always complete and
+    the truncation is reported, never silent).
+    """
+
+    def __init__(self, channels: Tuple[str, ...],
+                 max_records: Optional[int] = None) -> None:
+        unknown = sorted(set(channels) - set(OBSERVE_CHANNELS))
+        if unknown:
+            raise ValueError(f"unknown trace channel(s): {', '.join(unknown)}")
+        self.channels = tuple(channels)
+        self._enabled = frozenset(channels)
+        self._records: List[Dict[str, Any]] = []
+        self._counts: Dict[str, int] = {channel: 0 for channel in channels}
+        self._max_records = max_records
+        self.truncated = 0
+
+    def wants(self, channel: str) -> bool:
+        """True when ``channel`` is enabled (hook installers check once)."""
+        return channel in self._enabled
+
+    def emit(self, channel: str, time: float, event: str,
+             **fields: Any) -> None:
+        """Append one record.  ``fields`` become top-level record keys."""
+        self._counts[channel] += 1
+        if self._max_records is not None and len(self._records) >= self._max_records:
+            self.truncated += 1
+            return
+        record: Dict[str, Any] = {"t": time, "ch": channel, "ev": event}
+        record.update(fields)
+        self._records.append(record)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self, channel: Optional[str] = None) -> Iterator[Dict[str, Any]]:
+        """All records in emission order, optionally one channel's."""
+        if channel is None:
+            return iter(self._records)
+        return (r for r in self._records if r["ch"] == channel)
+
+    def counts(self) -> Dict[str, int]:
+        """Records emitted per enabled channel (including any truncated)."""
+        return dict(self._counts)
+
+    def summary(self) -> Dict[str, Any]:
+        """The compact form serialized into ``experiment_result/v1``."""
+        data: Dict[str, Any] = {"channels": dict(self._counts),
+                                "records": len(self._records)}
+        if self.truncated:
+            data["truncated"] = self.truncated
+        return data
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def header(self, spec: Any, *, extra: Optional[Dict[str, Any]] = None
+               ) -> Dict[str, Any]:
+        """The trace's line-1 header for ``spec`` (an ExperimentSpec)."""
+        from repro.experiments.spec import spec_hash
+
+        head: Dict[str, Any] = {
+            "schema": TRACE_SCHEMA,
+            "name": spec.name,
+            "seed": spec.seed,
+            "spec_hash": spec_hash(spec),
+            "engine": spec.engine.mode,
+            "channels": list(self.channels),
+        }
+        if extra:
+            head.update(extra)
+        return head
+
+    def to_lines(self, spec: Any, *, extra: Optional[Dict[str, Any]] = None
+                 ) -> List[str]:
+        """Header + records as canonical JSON lines (byte-deterministic)."""
+        dump = json.dumps
+        lines = [dump(self.header(spec, extra=extra), sort_keys=True,
+                      separators=(",", ":"))]
+        lines.extend(dump(record, sort_keys=True, separators=(",", ":"))
+                     for record in self._records)
+        return lines
+
+    def write_jsonl(self, path: str, spec: Any, *,
+                    extra: Optional[Dict[str, Any]] = None) -> None:
+        """Write the trace to ``path`` as JSONL (one object per line)."""
+        with open(path, "w") as handle:
+            for line in self.to_lines(spec, extra=extra):
+                handle.write(line)
+                handle.write("\n")
+
+
+def load_trace(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Read a trace file back as ``(header, records)``.
+
+    Raises ``ValueError`` when the file is not a trace this build reads.
+    """
+    with open(path) as handle:
+        first = handle.readline()
+        if not first.strip():
+            raise ValueError(f"{path} is empty, not a trace")
+        header = json.loads(first)
+        if not isinstance(header, dict) or header.get("schema") != TRACE_SCHEMA:
+            raise ValueError(
+                f"{path} is not a trace file (expected schema {TRACE_SCHEMA!r}, "
+                f"got {header.get('schema') if isinstance(header, dict) else first[:40]!r})")
+        records = [json.loads(line) for line in handle if line.strip()]
+    return header, records

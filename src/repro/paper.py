@@ -39,6 +39,10 @@ from repro.experiments.request import (
 )
 from repro.experiments.sweep import SweepResult, SweepRunner
 from repro.experiments.spec import ExperimentSpec
+from repro.obs.logsetup import get_logger
+from repro.obs.progress import provenance_summary
+
+logger = get_logger("paper")
 
 #: Default location of the committed paper grids, relative to the repo root.
 DEFAULT_GRIDS_DIR = os.path.join("examples", "specs", "grids")
@@ -101,6 +105,8 @@ def run_grid(path: str, output_dir: str, *, quick: bool = False,
     sweep = _execute_request(request, workers=workers,
                              cluster_dir=cluster_dir, timeout=timeout)
     wall = time.perf_counter() - start
+    logger.info("grid %s: %s", request.name,
+                provenance_summary(sweep.provenance))
 
     sweeps_dir = os.path.join(output_dir, "sweeps")
     reports_dir = os.path.join(output_dir, "reports")

@@ -1,9 +1,10 @@
 """cProfile helpers for hunting the next fast-path bottleneck.
 
-The workflow (documented in PERFORMANCE.md): run a scenario under
-:func:`profile_callable`, read the top entries, fix the biggest one,
-re-measure with ``repro bench``.  Keeping the wrapper here means every
-session profiles the same way and the numbers stay comparable.
+The workflow (documented in PERFORMANCE.md): run any spec under
+:func:`profile_spec` (``repro profile --spec ...`` from the shell), read
+the top entries, fix the biggest one, re-measure with ``repro bench``.
+Keeping the wrapper here means every session profiles the same way and the
+numbers stay comparable.
 """
 
 from __future__ import annotations
@@ -11,7 +12,7 @@ from __future__ import annotations
 import cProfile
 import io
 import pstats
-from typing import Any, Callable, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 
 def profile_callable(func: Callable[..., Any], *args: Any,
@@ -35,11 +36,30 @@ def format_hotspots(stats: pstats.Stats, top: int = 20,
     return buffer.getvalue()
 
 
+def profile_spec(spec: Any, duration: Optional[float] = None,
+                 top: int = 20, sort: str = "tottime") -> str:
+    """Profile one declarative experiment (either engine).
+
+    Wiring happens outside the profile so the hotspot table shows the run,
+    not topology construction.  Returns a one-line run summary (engine
+    mode, events processed) followed by the hotspot table.
+    """
+    from repro.experiments import ExperimentRunner
+
+    execution = ExperimentRunner().prepare(spec)
+    _, stats = profile_callable(execution.run, until=duration)
+    sim_stats = execution.sim.stats()
+    horizon = duration if duration is not None else spec.duration
+    head = (f"profile: {spec.name} [{spec.defense.backend}] "
+            f"engine={spec.engine.mode} duration={horizon:g}s "
+            f"events={sim_stats['events_processed']}")
+    return head + "\n" + format_hotspots(stats, top=top, sort=sort)
+
+
 def profile_flood(attack_pps: float = 5000.0, duration: float = 10.0,
                   top: int = 20) -> str:
-    """Profile the canonical flood-defense scenario; returns the hotspot table."""
-    from repro.scenarios.flood_defense import FloodDefenseScenario
+    """Profile the canonical flood experiment; returns the hotspot table."""
+    from repro.experiments import default_flood_spec
 
-    scenario = FloodDefenseScenario(attack_rate_pps=attack_pps)
-    _, stats = profile_callable(scenario.run, duration=duration)
-    return format_hotspots(stats, top=top)
+    spec = default_flood_spec(attack_pps=attack_pps, duration=duration)
+    return profile_spec(spec, top=top)

@@ -316,6 +316,36 @@ class FilterTable:
         self._purge_expired()
         return self._find_covering(label) is not None
 
+    def tap(self, on_block: Callable[["FilterTable", FilterEntry, Packet, int], None]) -> None:
+        """Observe blocked traffic (the tracing plane's filter hook).
+
+        Wraps the bound packet-path methods on this instance, so untapped
+        tables — every non-observed run — keep the unwrapped hot path with
+        zero added cost.  ``on_block(table, entry, packet, count)`` fires
+        after each block; ``count`` is 1 per-packet or the blocked prefix
+        length of a train.
+        """
+        inner_blocks = self.blocks
+        inner_blocks_train = self.blocks_train
+
+        def blocks(packet: Packet) -> Optional[FilterEntry]:
+            entry = inner_blocks(packet)
+            if entry is not None:
+                on_block(self, entry, packet, 1)
+            return entry
+
+        def blocks_train(template: Packet, count: int, interval: float,
+                         count_checked: bool = True
+                         ) -> Tuple[Optional[FilterEntry], int]:
+            entry, blocked = inner_blocks_train(template, count, interval,
+                                                count_checked)
+            if entry is not None and blocked:
+                on_block(self, entry, template, blocked)
+            return entry, blocked
+
+        self.blocks = blocks  # type: ignore[method-assign]
+        self.blocks_train = blocks_train  # type: ignore[method-assign]
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------

@@ -139,6 +139,21 @@ class Simulator:
         """Number of times the heap was rebuilt to shed cancelled events."""
         return self._compactions
 
+    def stats(self) -> Dict[str, Any]:
+        """Engine counters as one JSON-ready dict.
+
+        This is the engine's contribution to ``ExperimentResult.
+        observability`` (and the ``repro profile`` header); the values are
+        deterministic for a seeded run, so they are safe inside documents
+        that must be byte-identical across reruns and worker counts.
+        """
+        return {
+            "now": self._now,
+            "events_processed": self._events_processed,
+            "pending_events": len(self._heap),
+            "heap_compactions": self._compactions,
+        }
+
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
