@@ -215,13 +215,16 @@ class FloodAttack:
 class SpoofedFloodAttack(FloodAttack):
     """A flood whose packets carry forged source addresses.
 
-    Every packet draws a fresh source, so there is nothing homogeneous to
-    aggregate: spoofed floods keep batched per-packet emission even in
-    train-mode experiments (the "split where a decision is per-packet" rule
-    applied at the source).
+    In per-packet mode every packet draws a fresh source.  In train mode the
+    draw happens once per *train*: all ``max_train`` packets of one emission
+    share a spoofed source, so the flood still rotates sources (one per
+    train, from the same seeded stream) while staying aggregable — ingress
+    filtering and the handshake see the same per-source dynamics at train
+    granularity.  Packet counts are identical across modes (pinned by the
+    emission-parity tests); the source *sequence* is coarser by design.
     """
 
-    supports_trains = False
+    supports_trains = True
 
     def __init__(
         self,
@@ -241,6 +244,19 @@ class SpoofedFloodAttack(FloodAttack):
         # Every packet carries a freshly drawn source, so there is no
         # reusable template for this variant.
         return self._build_packet()
+
+    def _emit_train(self, count: int) -> None:
+        """One train per emission, one freshly drawn source per train.
+
+        The template is never cached — each train re-draws, so the spoofed
+        source keeps rotating at train granularity.
+        """
+        train = PacketTrain(self._build_packet(), count, self._interval)
+        if self.attacker.send_train(train):
+            self.packets_sent += train.count
+            self.packets_suppressed += count - train.count
+        else:
+            self.packets_suppressed += count
 
     def _build_packet(self) -> Packet:
         claimed = self._pick_spoofed_source()

@@ -30,8 +30,8 @@ class LegitimateTraffic:
     Supports the same opt-in train mode as the attack generators: constant
     rate and a fixed template make the flow perfectly homogeneous, so one
     :class:`~repro.net.train.PacketTrain` per wakeup carries the goodput
-    workload (``PoissonTraffic`` draws random inter-arrivals and therefore
-    always emits per-packet).
+    workload.  ``PoissonTraffic`` draws random inter-arrivals and aggregates
+    them natively (see its docstring) rather than via :class:`TrainProcess`.
     """
 
     #: Whether this generator's packets are homogeneous enough to aggregate.
@@ -159,8 +159,13 @@ class LegitimateTraffic:
         if self._send(packet):  # send() stamps created_at
             self.packets_sent += 1
 
-    def _emit_train(self, count: int) -> None:
-        """Train-mode emission: ``count`` packets as one aggregated object."""
+    def _emit_train(self, count: int, interval: Optional[float] = None) -> None:
+        """Train-mode emission: ``count`` packets as one aggregated object.
+
+        ``interval`` defaults to the generator's fixed spacing;
+        :class:`PoissonTraffic` passes the mean of its drawn gaps instead so
+        the train's span matches the per-packet emission times it replaces.
+        """
         template = self._template
         if template is None:
             template = self._template = Packet.data(
@@ -172,7 +177,8 @@ class LegitimateTraffic:
                 flow_tag=self._flow_tag,
             )
         self.packets_offered += count
-        train = PacketTrain(template.clone(), count, self._interval)
+        train = PacketTrain(template.clone(), count,
+                            interval if interval is not None else self._interval)
         if self.sender.send_train(train):
             # The first-hop pipe shrinks train.count on partial tail-drop.
             self.packets_sent += train.count
@@ -189,8 +195,23 @@ class LegitimateTraffic:
 
 
 class PoissonTraffic(LegitimateTraffic):
-    """Legitimate traffic with exponentially distributed inter-arrivals."""
+    """Legitimate traffic with exponentially distributed inter-arrivals.
 
+    Train mode is supported natively rather than through
+    :class:`~repro.sim.process.TrainProcess`: the generator keeps its own
+    self-rescheduling wakeup, but in train mode each wakeup eagerly draws
+    inter-arrival gaps from the *same* seeded stream as per-packet mode —
+    one draw per packet, in the same order — and packs the accepted gaps
+    into one :class:`~repro.net.train.PacketTrain` whose span equals the
+    drawn arrival span (interval = mean drawn gap).  Accumulation stops at
+    ``max_train`` packets, when the span would exceed ``max_span``, or when
+    the next arrival would land at/after the end of the flow; the rejected
+    draw becomes the next wakeup time, so its packet opens the next train.
+    Emission *counts* are therefore bit-identical across modes (pinned by
+    the emission-parity tests); only intra-train spacing is smoothed.
+    """
+
+    #: Trains are built natively (see class docstring), not via TrainProcess.
     supports_trains = False
 
     def __init__(self, sender: Host, destination: Union[str, IPAddress],
@@ -198,13 +219,18 @@ class PoissonTraffic(LegitimateTraffic):
         super().__init__(sender, destination, **kwargs)
         self._rng = rng or SeededRandom(stable_seed("poisson", sender.name),
                                         name=f"poisson-{sender.name}")
+        self._train_mode = bool(kwargs.get("train_mode", False))
+        self._max_train = int(kwargs.get("max_train", 256))
+        self._max_span = kwargs.get("max_span")
+        self._horizon = kwargs.get("horizon")
         # Replace the fixed-interval process with a self-rescheduling one.
         self._process.stop()
         self._running = False
 
     def start(self) -> "PoissonTraffic":
         self._running = True
-        self.sender.sim.schedule(self.start_time, self._poisson_emit, name="poisson-start")
+        emit = self._poisson_emit_train if self._train_mode else self._poisson_emit
+        self.sender.sim.schedule(self.start_time, emit, name="poisson-start")
         if self.duration is not None:
             self.sender.sim.schedule(self.start_time + self.duration, self.stop,
                                      name="poisson-end")
@@ -219,3 +245,39 @@ class PoissonTraffic(LegitimateTraffic):
         self._emit()
         gap = self._rng.expovariate(self.rate_pps)
         self.sender.sim.schedule(gap, self._poisson_emit, name="poisson-next")
+
+    def _poisson_emit_train(self) -> None:
+        """One wakeup, one train: same draws as per-packet mode, aggregated.
+
+        The packet that triggered this wakeup is offset 0; every accepted
+        gap extends the train; the first rejected gap schedules the next
+        wakeup (so every drawn gap is consumed exactly once, preserving the
+        per-packet RNG sequence).  Boundary conditions mirror per-packet
+        mode exactly: the end-of-flow stop event wins a same-time tie
+        (strict ``<`` against the limit), while the simulation horizon is
+        inclusive (``sim.run(until)`` fires events at exactly ``until``).
+        """
+        if not self._running:
+            return
+        sim = self.sender.sim
+        now = sim.now
+        limit = None if self.duration is None else self.start_time + self.duration
+        max_span = self._max_span
+        horizon = self._horizon
+        count = 1
+        offset = 0.0
+        while True:
+            gap = self._rng.expovariate(self.rate_pps)
+            candidate = offset + gap
+            if (count >= self._max_train
+                    or (max_span is not None and candidate > max_span)
+                    or (limit is not None and now + candidate >= limit)
+                    or (horizon is not None and now + candidate > horizon)):
+                break
+            offset = candidate
+            count += 1
+        if count == 1:
+            self._emit()
+        else:
+            self._emit_train(count, offset / (count - 1))
+        sim.schedule(candidate, self._poisson_emit_train, name="poisson-next")

@@ -53,8 +53,8 @@ class ZombieArmy:
                 start_time=start_time + jitter,
                 duration=duration,
                 flow_tag="zombie-attack",
-                # Spoofed zombies fall back to per-packet emission on their
-                # own (SpoofedFloodAttack.supports_trains is False).
+                # Spoofed zombies aggregate too: one freshly drawn source
+                # per train (see SpoofedFloodAttack._emit_train).
                 train_mode=train_mode,
                 max_train=max_train,
                 max_span=max_span,

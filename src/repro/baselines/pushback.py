@@ -72,6 +72,10 @@ class AggregateLimiter:
     _window_start: float = 0.0
     _window_bytes: int = 0
     _estimated_bps: float = 0.0
+    #: Fractional-packet carry for train-mode count scaling: the expected
+    #: number of survivors is accumulated here so long trains condition to
+    #: exactly the mean of the per-packet coin flips, with no RNG at all.
+    _train_credit: float = 0.0
 
     def record_arrival(self, now: float, size: int) -> None:
         """Update the arrival-rate estimate with one packet."""
@@ -121,6 +125,7 @@ class PushbackAgent:
         self._reviewer = PeriodicProcess(router.sim, review_interval, self._review,
                                          name=f"pushback-review-{router.name}")
         router.conditioners.append(self._condition)
+        router.train_conditioners.append(self._condition_train)
         self._previous_control_handler = router.control_handler
         router.control_handler = self._handle_control
 
@@ -158,9 +163,37 @@ class PushbackAgent:
                 return True
         return True
 
-    # ------------------------------------------------------------------
-    # hop-by-hop propagation
-    # ------------------------------------------------------------------
+    def _condition_train(self, train, link: Link) -> int:
+        """Train-aware :meth:`_condition`: rate-condition by count scaling.
+
+        The whole train's bytes feed the arrival-rate estimator at once, and
+        the pass count is the *expected* number of per-packet survivors —
+        ``count * (1 - p)`` with the fractional remainder carried between
+        trains in the limiter's ``_train_credit`` — so the conditioned rate
+        converges on per-packet mode's without any random draws (trains stay
+        deterministic and shard-order-independent).  Returns how many of the
+        train's packets pass; the router scales the train, no explosion.
+        """
+        template = train.template
+        count = train.count
+        for limiter in self.limiters.values():
+            if limiter.aggregate.matches(template):
+                limiter.record_arrival(self.router.sim.now,
+                                       count * template.size)
+                p = limiter.drop_probability
+                if p <= 0.0:
+                    limiter.packets_passed += count
+                    return count
+                keep = count * (1.0 - p) + limiter._train_credit
+                passed = int(keep)
+                if passed > count:
+                    passed = count
+                limiter._train_credit = min(keep - passed, 1.0)
+                limiter.packets_dropped += count - passed
+                limiter.packets_passed += passed
+                return passed
+        return count
+
     def _review(self) -> None:
         """Periodically decide whether to push the problem upstream."""
         for limiter in list(self.limiters.values()):

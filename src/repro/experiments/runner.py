@@ -287,5 +287,13 @@ class ExperimentRunner:
 
     def run(self, spec: ExperimentSpec,
             duration: Optional[float] = None) -> ExperimentResult:
-        """Prepare and run in one step."""
+        """Prepare and run in one step.
+
+        ``engine.shards > 1`` hands the whole run to the sharded executor
+        (one worker process per shard, conservative lookahead windows at
+        the partition's cut links); everything else runs in-process.
+        """
+        if spec.engine.shards > 1:
+            from repro.shard import run_sharded
+            return run_sharded(spec, until=duration)
         return self.prepare(spec).run(until=duration)

@@ -389,8 +389,7 @@ class _Pipe:
             qstats.peak_depth_bytes = depth
         tx = size / self._srate
         stats.busy_time += tx
-        sim.schedule_fire(q0 / self._srate + tx + self._delay,
-                          self._deliver, packet)
+        self._emit_packet(q0 / self._srate + tx + self._delay, packet)
         return True
 
     def send_train(self, train: PacketTrain) -> bool:
@@ -470,8 +469,63 @@ class _Pipe:
         stats.busy_time += accepted * tx
         train.count = accepted
         train.interval = out_interval
-        sim.schedule_fire(wait + tx + self._delay, self._deliver_train, train)
+        self._emit_train(wait + tx + self._delay, train)
         return True
+
+    # ------------------------------------------------------------------
+    # sharding boundary: emit hooks, divert and inject
+    # ------------------------------------------------------------------
+    # The fluid send paths schedule their delivery through these two tiny
+    # hooks instead of calling ``schedule_fire`` directly.  On an unsharded
+    # run they are exactly that call; on a sharded run the coordinator marks
+    # each *cut* pipe — one whose sender and receiver live in different
+    # shards — by swapping the bound attribute via :meth:`divert`, so the
+    # admitted traffic is captured (with its absolute arrival time) instead
+    # of delivered locally, shipped to the receiving shard at the next
+    # window barrier, and re-entered there via :meth:`inject`.  Admission,
+    # queueing, stats and the fluid state all still run on the sending
+    # side, so a diverted pipe behaves bit-identically to a local one.
+    # Only the fluid (train-engine) paths are hooked: sharded execution
+    # requires ``engine.mode = "train"``.
+    def _emit_packet(self, dt: float, packet: Packet) -> None:
+        """Schedule local delivery of an admitted packet ``dt`` from now."""
+        self._sim.schedule_fire(dt, self._deliver, packet)
+
+    def _emit_train(self, dt: float, train: PacketTrain) -> None:
+        """Schedule local delivery of an admitted train ``dt`` from now."""
+        self._sim.schedule_fire(dt, self._deliver_train, train)
+
+    def divert(self, export) -> None:
+        """Capture this direction's deliveries instead of scheduling them.
+
+        ``export(when, is_train, payload)`` is called with the *absolute*
+        arrival time the delivery event would have fired at.  Because every
+        cut link's delay is at least the lookahead window, that time always
+        lands beyond the current window — the receiving shard learns about
+        the arrival at the next barrier, before its clock gets there.
+        """
+        sim = self._sim
+
+        def _export_packet(dt: float, packet: Packet) -> None:
+            export(sim._now + dt, False, packet)
+
+        def _export_train(dt: float, train: PacketTrain) -> None:
+            export(sim._now + dt, True, train)
+
+        self._emit_packet = _export_packet  # type: ignore[method-assign]
+        self._emit_train = _export_train  # type: ignore[method-assign]
+
+    def inject(self, when: float, is_train: bool, payload) -> None:
+        """Deliver a cross-shard arrival at absolute time ``when``.
+
+        The attribute lookup goes through the instance, so a tapped pipe's
+        tracing wrapper still sees injected arrivals exactly like local
+        ones.
+        """
+        if is_train:
+            self._sim.fire_at(when, self._deliver_train, payload)
+        else:
+            self._sim.fire_at(when, self._deliver, payload)
 
     def _deliver_train(self, train: PacketTrain) -> None:
         stats = self.stats
@@ -612,6 +666,19 @@ class Link:
         if sender is self.b:
             return self._pipe_to_a
         raise ValueError(f"{getattr(sender, 'name', sender)} is not attached to link {self.name}")
+
+    def pipe_toward(self, node: PacketSink) -> _Pipe:
+        """The directional pipe whose *receiver* is ``node``.
+
+        The sharding plane uses this to divert the direction leaving a
+        shard (receiver foreign) and to inject into the direction entering
+        it (receiver owned); see :meth:`_Pipe.divert` / :meth:`_Pipe.inject`.
+        """
+        if node is self.b:
+            return self._pipe_to_b
+        if node is self.a:
+            return self._pipe_to_a
+        raise ValueError(f"{getattr(node, 'name', node)} is not attached to link {self.name}")
 
     # ------------------------------------------------------------------
     # inspection

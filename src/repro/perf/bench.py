@@ -30,7 +30,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 #: and per-packet mode — their ratio is the headline train-mode speedup.
 BENCH_NAMES: Tuple[str, ...] = ("flood", "flood_heavy", "scaling",
                                 "fleet", "fleet_packet", "horizon",
-                                "hierarchy_build", "hierarchy_routes")
+                                "hierarchy_build", "hierarchy_routes",
+                                "sharded_fleet_serial", "sharded_fleet")
 
 #: Schema tag written to BENCH_engine.json.
 BENCH_SCHEMA = "bench_engine/v1"
@@ -246,6 +247,47 @@ def _run_fleet(autonomous_systems: float = 200, hosts_per_leaf: float = 10,
     return packets, internet.sim.events_processed, setup_seconds
 
 
+def _run_sharded_fleet(autonomous_systems: float = 200,
+                       hosts_per_leaf: float = 10, zombies: float = 1000,
+                       rate_pps: float = 40.0, duration: float = 5.0,
+                       seed: int = 11, shards: float = 4,
+                       max_train: float = 256) -> Tuple[int, int]:
+    """Fleet-scale flood through the declarative spec path, sharded.
+
+    The same 200-AS / 1000-zombie scenario as ``fleet``, but expressed as an
+    :class:`ExperimentSpec` and executed by ``engine.shards`` worker
+    processes under conservative lookahead windows (``shards=1`` is the
+    unsharded train engine on the identical spec — the serial baseline the
+    ``shard_speedup`` ratio is computed against).  Wall-clock includes the
+    build/fork/partition setup, which is identical across shard counts, so
+    the serial-vs-sharded ratio is an end-to-end number.  Events are
+    per-worker-process and not aggregated, so only packets/sec is reported.
+    """
+    from repro.experiments import ExperimentRunner
+    from repro.experiments.spec import ExperimentSpec
+
+    engine: Dict = {"mode": "train", "max_train": int(max_train)}
+    if int(shards) > 1:
+        engine["shards"] = int(shards)
+    spec = ExperimentSpec.from_dict({
+        "schema": "experiment_spec/v1",
+        "name": "sharded-fleet",
+        "seed": int(seed),
+        "duration": float(duration),
+        "topology": {"kind": "powerlaw", "params": {
+            "autonomous_systems": int(autonomous_systems),
+            "hosts_per_leaf": int(hosts_per_leaf), "seed": int(seed)}},
+        "defense": {"backend": "none"},
+        "engine": engine,
+        "workloads": [{"kind": "zombies", "params": {
+            "count": int(zombies), "rate_pps": float(rate_pps),
+            "start": 0.05}}],
+    })
+    result = ExperimentRunner().run(spec)
+    packets = sum(w.get("packets_sent", 0) for w in result.workload_stats)
+    return packets, 0
+
+
 def _run_horizon(attack_pps: float = 1500.0, duration: float = 120.0,
                  seed: int = 0, max_train: float = 256) -> Tuple[int, int]:
     """Long-horizon flood: the canonical Figure-1 scenario for 120 simulated
@@ -338,6 +380,14 @@ _WORKLOADS: Dict[str, Tuple[Callable[..., Tuple], Dict[str, float]]] = {
     "hierarchy_routes": (_run_hierarchy_routes, {
         "autonomous_systems": 10000, "anchors": 8, "host_stubs": 10,
         "hosts_per_stub": 2, "seed": 7, "duration": 0.0}),
+    "sharded_fleet_serial": (_run_sharded_fleet, {
+        "autonomous_systems": 200, "hosts_per_leaf": 10, "zombies": 1000,
+        "rate_pps": 40.0, "duration": 5.0, "seed": 11, "shards": 1,
+        "max_train": 256}),
+    "sharded_fleet": (_run_sharded_fleet, {
+        "autonomous_systems": 200, "hosts_per_leaf": 10, "zombies": 1000,
+        "rate_pps": 40.0, "duration": 5.0, "seed": 11, "shards": 4,
+        "max_train": 256}),
 }
 
 
@@ -533,6 +583,8 @@ def _history_entry(doc: Dict) -> Dict:
             for name, entry in doc.get("benches", {}).items()
         },
         "train_mode_speedup": doc.get("train_mode_speedup"),
+        "shard_speedup": doc.get("shard_speedup"),
+        "cpu_count": doc.get("cpu_count"),
     }
 
 
@@ -573,6 +625,9 @@ def write_bench_json(path: str, results: Iterable[BenchResult],
         "schema": BENCH_SCHEMA,
         "python": platform.python_version(),
         "calibration_ops_per_sec": calibration,
+        # Context for shard_speedup: on one CPU the sharded/serial ratio
+        # records process overhead, not parallel speedup.
+        "cpu_count": os.cpu_count(),
         "seed_baseline": SEED_BASELINE,
         "benches": {},
     }
@@ -585,6 +640,9 @@ def write_bench_json(path: str, results: Iterable[BenchResult],
     speedups = train_mode_speedups(doc)
     if speedups:
         doc["train_mode_speedup"] = speedups
+    shard = shard_speedups(doc)
+    if shard:
+        doc["shard_speedup"] = shard
     history = load_bench_history(path)
     history.append(_history_entry(doc))
     doc["history"] = history[-_HISTORY_LIMIT:]
@@ -604,6 +662,23 @@ def train_mode_speedups(doc: Dict) -> Dict[str, float]:
     if train and packet and packet.get("packets_per_sec"):
         speedups["fleet"] = round(
             train["packets_per_sec"] / packet["packets_per_sec"], 3)
+    return speedups
+
+
+def shard_speedups(doc: Dict) -> Dict[str, float]:
+    """Sharded-vs-serial throughput ratios derivable from a bench document
+    (the ``sharded_fleet`` / ``sharded_fleet_serial`` pair).
+
+    Read alongside the document's ``cpu_count``: on a single-core machine
+    the ratio records the sharding *overhead* (expected < 1), not a speedup.
+    """
+    benches = doc.get("benches", {})
+    serial = benches.get("sharded_fleet_serial")
+    sharded = benches.get("sharded_fleet")
+    speedups: Dict[str, float] = {}
+    if serial and sharded and serial.get("packets_per_sec"):
+        speedups["fleet"] = round(
+            sharded["packets_per_sec"] / serial["packets_per_sec"], 3)
     return speedups
 
 

@@ -387,6 +387,14 @@ class BorderRouter(NetworkNode):
         #: packet by returning False; the Pushback baseline installs its
         #: aggregate rate-limiters here.
         self.conditioners: List[Callable[[Packet, Link], bool]] = []
+        #: Parallel to ``conditioners``: optional train-aware variants taking
+        #: ``(train, link)`` and returning how many of the train's packets
+        #: pass (0..count).  A conditioner installed without its train
+        #: variant forces :meth:`handle_train` to explode trains back into
+        #: packets at this router; with one, trains are rate-conditioned by
+        #: count scaling and never explode (see
+        #: :meth:`repro.baselines.pushback.PushbackAgent._condition_train`).
+        self.train_conditioners: List[Callable[[PacketTrain, Link], int]] = []
         #: Prefixes served by this router's AD (used by topology builders and
         #: by the protocol layer to tell "my client" from "transit").
         self.local_prefixes: List[Prefix] = []
@@ -462,19 +470,21 @@ class BorderRouter(NetworkNode):
         """The forwarding pipeline applied to a whole train at once.
 
         Label-level decisions (ingress policy, filter match, route) are made
-        once and multiplied by the count.  The two genuinely per-packet
-        decision points split the train instead: a filter expiring mid-train
+        once and multiplied by the count.  The genuinely per-packet decision
+        points split or scale the train instead: a filter expiring mid-train
         blocks only the leading packets and the remainder re-enters this
-        pipeline at its own nominal time, and a router running traffic
-        conditioners (Pushback rate limiters make probabilistic, rate-paced
-        drop decisions) explodes the train back into individual packets.
+        pipeline at its own nominal time, and traffic conditioners (Pushback
+        rate limiters) scale the count via their train-aware variants.  A
+        conditioner installed *without* a train variant falls back to
+        exploding the train into individual packets — correctness over speed
+        for third-party conditioners that never learned about trains.
         """
         template = train.template
         count = train.count
         if template.dst in self.addresses:
             self.deliver_train_locally(train, link)
             return
-        if self.conditioners:
+        if self.conditioners and len(self.train_conditioners) != len(self.conditioners):
             self._explode_train(train, link)
             return
         if not self.ingress.check_train(template, count, link):
@@ -509,6 +519,19 @@ class BorderRouter(NetworkNode):
             self.sim.fire_at(self.sim._now + blocked * train.interval,
                              self._train_filter_stage, train, link, False)
             return
+        for conditioner in self.train_conditioners:
+            passed = conditioner(train, link)
+            if passed < count:
+                self.stats.packets_dropped_filter += count - passed
+                if passed <= 0:
+                    return
+                # Count scaling: the survivors keep the train's span (their
+                # mean spacing is what per-packet random drops produce), so
+                # the offered rate downstream shrinks by the drop fraction.
+                span = count * train.interval
+                train.count = passed
+                train.interval = span / passed
+                count = passed
         if self.stamp_route_record:
             record = template.route_record
             name = self.name

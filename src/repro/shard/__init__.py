@@ -1,0 +1,30 @@
+"""Sharded execution: partition the topology, one worker process per shard.
+
+The simulator is single-threaded by design, so the fleet-scale scenarios
+that answer the paper's Internet-scale questions are wall-clock-bound by
+one core's event loop.  This package parallelises a *train-engine*
+experiment across OS processes:
+
+* :mod:`repro.shard.partition` groups the AS-level topology into shards —
+  a seeded min-cut-ish region growing that keeps every stub (and every
+  end-host) with its provider, partitioning tiered policy topologies along
+  tier boundaries;
+* :mod:`repro.shard.runner` forks one worker per shard from the fully
+  built experiment, runs the shards under conservative lookahead
+  synchronization (window = the minimum cut-link delay), exchanges
+  packet-trains at the cut links, and deterministically merges the
+  per-shard results into one :class:`~repro.experiments.runner.ExperimentResult`.
+
+Selected declaratively::
+
+    "engine": {"mode": "train", "shards": 4}
+
+The shard count is an *execution* choice: results are metric-identical to
+the unsharded train engine on uncongested cells (pinned by tests), and the
+cluster cache key ignores it entirely.
+"""
+
+from repro.shard.partition import Partition, partition_topology
+from repro.shard.runner import run_sharded
+
+__all__ = ["Partition", "partition_topology", "run_sharded"]

@@ -305,13 +305,15 @@ class TestEngineSpec:
 # ----------------------------------------------------------------------
 # equivalence: train vs packet mode
 # ----------------------------------------------------------------------
-def run_flood(mode, *, defense="aitf", attack_pps=300.0, legit_pps=200.0,
-              duration=6.0, workload_duration=5.0, max_train=256, seed=0):
+def run_flood(mode, *, defense="aitf", defense_params=None, attack_pps=300.0,
+              legit_pps=200.0, duration=6.0, workload_duration=5.0,
+              max_train=256, seed=0):
     """One flood run; workloads end one second before the horizon so every
     packet drains from the network (in-flight packets at the horizon are the
     one place even an uncongested comparison cannot be exact)."""
     spec = default_flood_spec(attack_pps=attack_pps, legit_pps=legit_pps,
-                              duration=duration, defense=defense, seed=seed)
+                              duration=duration, defense=defense,
+                              defense_params=defense_params, seed=seed)
     overrides = {"workloads.0.params.duration": workload_duration,
                  "workloads.1.params.duration": workload_duration}
     if mode == "train":
@@ -414,6 +416,57 @@ class TestCongestedTolerance:
             assert delivered < emitted * 0.5  # deep congestion in both modes
 
 
+class TestPushbackTrainEquivalence:
+    """The train-aware Pushback conditioner: whole-train arrival-rate
+    accounting plus expected-value count scaling with a fractional carry —
+    no RNG, no train explosion."""
+
+    def test_uncongested_pushback_exact(self):
+        # Below the aggregate limit the drop probability is 0 everywhere,
+        # so every delivery metric matches per-packet mode to the last bit.
+        # The one train-granularity artifact: a train already emitted when
+        # the limiter installs is metered whole or not at all, so the
+        # *passed* counter may lag per-packet mode by up to one train per
+        # flow — everything else is exact.
+        params = {"limit_bps": 1e8}
+        max_train = 64
+        _, packet_result = run_flood("packet", defense="pushback",
+                                     defense_params=params)
+        _, train_result = run_flood("train", defense="pushback",
+                                    defense_params=params,
+                                    max_train=max_train)
+        packet_stats = dict(packet_result.defense_stats)
+        train_stats = dict(train_result.defense_stats)
+        packet_passed = packet_stats.pop("packets_passed")
+        train_passed = train_stats.pop("packets_passed")
+        assert train_stats == packet_stats
+        assert train_stats["packets_dropped"] == 0
+        flows = 2  # the attack and the legitimate stream
+        assert 0 <= packet_passed - train_passed <= flows * max_train
+        assert (train_result.legit_goodput_bps
+                == packet_result.legit_goodput_bps)
+        assert (train_result.attack_received_bps
+                == packet_result.attack_received_bps)
+
+    def test_congested_pushback_drops_track_packet_mode(self):
+        # Over the limit, per-packet mode flips seeded coins while train
+        # mode passes the *expected* survivor count; the realized drop
+        # totals must agree closely (the carry keeps rounding unbiased).
+        packet_exec, packet_result = run_flood(
+            "packet", defense="pushback", attack_pps=3000.0)
+        train_exec, train_result = run_flood(
+            "train", defense="pushback", attack_pps=3000.0)
+        packet_dropped = packet_result.defense_stats["packets_dropped"]
+        train_dropped = train_result.defense_stats["packets_dropped"]
+        assert packet_dropped > 0
+        assert train_dropped == pytest.approx(packet_dropped, rel=0.1)
+        # The conditioner scales trains instead of exploding them into
+        # per-packet events: rate limiting must not cost train mode its
+        # event-count advantage.
+        assert (train_exec.sim.events_processed
+                < packet_exec.sim.events_processed / 2)
+
+
 class TestTrainModeDeterminism:
     def test_train_mode_repeats_identically(self):
         first = dataclasses.asdict(run_flood("train")[1])
@@ -441,6 +494,51 @@ class TestTrainModeDeterminism:
         packet_army = packet_exec.attack_workloads()[0].generator
         train_army = train_exec.attack_workloads()[0].generator
         assert train_army.packets_sent == packet_army.packets_sent
+
+    def test_spoofed_zombie_train_emission_matches_packet_mode(self):
+        # Spoofed floods are train-native: one freshly drawn source per
+        # train keeps the flood aggregable while the *count* stays exactly
+        # the per-packet number (the source sequence is coarser by design).
+        spec = default_flood_spec(duration=3.0, topology="dumbbell",
+                                  topology_params={"sources": 5},
+                                  defense="none")
+        spec = spec.with_overrides({
+            "workloads.1": {"kind": "zombies",
+                            "params": {"count": 3, "rate_pps": 150.0,
+                                       "start": 0.2, "duration": 2.0,
+                                       "spoofed": True}},
+            "workloads.0.params.duration": 2.0,
+        })
+        packet_exec = ExperimentRunner().prepare(spec)
+        packet_exec.run()
+        train_exec = ExperimentRunner().prepare(
+            spec.with_overrides({"engine.mode": "train"}))
+        train_exec.run()
+        packet_army = packet_exec.attack_workloads()[0].generator
+        train_army = train_exec.attack_workloads()[0].generator
+        assert train_army.packets_sent == packet_army.packets_sent
+        assert train_army.packets_sent > 0
+
+    def test_poisson_traffic_train_emission_matches_packet_mode(self):
+        # Poisson legit traffic draws its exponential gaps from the same
+        # seeded stream in both modes, so offered/sent counts are exact.
+        spec = default_flood_spec(duration=3.0, defense="none")
+        spec = spec.with_overrides({
+            "workloads.0": {"kind": "legitimate",
+                            "params": {"rate_pps": 300.0, "poisson": True,
+                                       "duration": 2.0}},
+            "workloads.1.params.duration": 2.0,
+        })
+        packet_exec = ExperimentRunner().prepare(spec)
+        packet_exec.run()
+        train_exec = ExperimentRunner().prepare(
+            spec.with_overrides({"engine.mode": "train"}))
+        train_exec.run()
+        packet_legit = packet_exec.legit_workloads()[0].generator
+        train_legit = train_exec.legit_workloads()[0].generator
+        assert train_legit.packets_offered == packet_legit.packets_offered
+        assert train_legit.packets_sent == packet_legit.packets_sent
+        assert train_legit.packets_offered > 0
 
     def test_onoff_train_mode_preserves_duty_cycle(self):
         spec = default_flood_spec(duration=8.0)
