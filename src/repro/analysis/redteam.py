@@ -1,0 +1,62 @@
+"""Human-readable summaries of red-team search and repair documents.
+
+The canonical documents (``redteam_search/v1``, ``repair_report/v1``) are
+JSON for machines; these helpers condense them into the fixed-column
+:class:`~repro.analysis.report.ResultTable` the CLI prints.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.analysis.report import ResultTable, format_ratio
+
+
+def _overrides_label(overrides: Mapping[str, Any]) -> str:
+    """A compact ``path=value`` summary of one cell's attack overrides."""
+    return " ".join(f"{path.split('.')[-1]}={overrides[path]}"
+                    for path in sorted(overrides))
+
+
+def search_table(document: Mapping[str, Any]) -> ResultTable:
+    """One row per evaluated cell of a search document."""
+    metric = document.get("metric", "metric")
+    table = ResultTable(
+        title=f"red-team search: {document.get('name') or 'search'}",
+        columns=("cell", "round", "attack parameters", metric, "collapsed"))
+    for cell in document.get("cells", []):
+        table.add_row(
+            cell["index"], cell["round"],
+            _overrides_label(cell.get("overrides", {})),
+            format_ratio(cell["value"]),
+            "COLLAPSE" if cell["collapsed"] else "-")
+    collapse = document.get("collapse_cells", [])
+    table.add_note(
+        f"{len(collapse)} collapse cell(s) below "
+        f"{metric} threshold {document.get('threshold')}")
+    if document.get("truncated"):
+        table.add_note("search truncated at max_cells; ladder coverage is "
+                       "incomplete")
+    return table
+
+
+def repair_table(report: Mapping[str, Any]) -> ResultTable:
+    """One row per repair trial of a repair report."""
+    metric = report.get("metric", "metric")
+    table = ResultTable(
+        title=f"red-team repair: {report.get('name') or 'repair'}",
+        columns=("cell", "candidate", "cost", metric, "verdict"))
+    for entry in report.get("repairs", []):
+        table.add_row(entry["cell_index"], "(collapsed)", "-",
+                      format_ratio(entry["collapsed_value"]), "-")
+        for trial in entry.get("trials", []):
+            table.add_row(
+                entry["cell_index"], trial["name"], trial["cost"],
+                format_ratio(trial["value"]),
+                "REPAIRS" if trial["restored"] else "fails")
+        if entry.get("repair") is None:
+            table.add_row(entry["cell_index"], "(no repair found)", "-",
+                          "-", "UNREPAIRED")
+    table.add_note(f"run_hash {report.get('run_hash', '')[:16]}… "
+                   f"(threshold {report.get('threshold')})")
+    return table

@@ -931,6 +931,116 @@ def run_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _redteam_executor(args: argparse.Namespace) -> Any:
+    """The cache-fronted cell executor shared by the redteam subcommands."""
+    from repro.cluster.cache import CellCache
+    from repro.redteam import CellExecutor
+
+    cache = CellCache(args.cache) if args.cache else None
+    return CellExecutor(cache=cache, workers=args.workers)
+
+
+def _load_json_or_die(path: str, what: str) -> Dict[str, Any]:
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"repro redteam: cannot read {what} {path}: {error}")
+
+
+def run_redteam_search(args: argparse.Namespace) -> int:
+    """``repro redteam search``: successive-refinement search of the attack
+    ladders for cells where the defense's goodput collapses."""
+    from repro.analysis.redteam import search_table
+    from repro.redteam import run_search, write_search
+    from repro.redteam.search import search_provenance
+    from repro.redteam.spec import load_redteam_spec
+
+    spec = load_redteam_spec(args.spec, quick=args.quick)
+    executor = _redteam_executor(args)
+    document = run_search(spec, executor=executor)
+    write_search(document, args.output)
+    with open(provenance_sidecar_path(args.output), "w") as handle:
+        json.dump(search_provenance(executor, document), handle,
+                  indent=2, sort_keys=True)
+        handle.write("\n")
+    logger.info("wrote %s: %d cells evaluated, %d collapse cell(s)",
+                args.output, len(document["cells"]),
+                len(document["collapse_cells"]))
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        search_table(document).print()
+    return 0
+
+
+def run_redteam_repair(args: argparse.Namespace) -> int:
+    """``repro redteam repair``: verify the cheapest config delta restoring
+    each collapse cell of a recorded search (exit 1 if any cell stays
+    unrepaired by the committed menu)."""
+    from repro.analysis.redteam import repair_table
+    from repro.redteam import run_repair, write_report
+    from repro.redteam.search import search_provenance
+    from repro.redteam.spec import load_redteam_spec
+
+    spec = load_redteam_spec(args.spec, quick=args.quick)
+    search_document = _load_json_or_die(args.search, "search document")
+    executor = _redteam_executor(args)
+    report = run_repair(spec, search_document, executor=executor)
+    write_report(report, args.output)
+    with open(provenance_sidecar_path(args.output), "w") as handle:
+        json.dump(search_provenance(executor, report), handle,
+                  indent=2, sort_keys=True)
+        handle.write("\n")
+    logger.info("wrote %s (run_hash %s)", args.output, report["run_hash"][:16])
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        repair_table(report).print()
+    unrepaired = [entry["cell_index"] for entry in report["repairs"]
+                  if entry["repair"] is None]
+    if unrepaired:
+        logger.warning("no committed repair restores cell(s) %s", unrepaired)
+        return 1
+    return 0
+
+
+def run_redteam_verify(args: argparse.Namespace) -> int:
+    """``repro redteam verify``: replay search + repair from the spec and
+    compare bytes / run-hash against the recorded documents (exit 1 on any
+    mismatch or a cache hit rate below ``--min-hit-rate``)."""
+    from repro.redteam import verify_replay
+    from repro.redteam.spec import load_redteam_spec
+
+    spec = load_redteam_spec(args.spec, quick=args.quick)
+    search_document = _load_json_or_die(args.search, "search document")
+    report = _load_json_or_die(args.report, "repair report")
+    executor = _redteam_executor(args)
+    verdict = verify_replay(spec, search_document, report, executor=executor)
+    passed = verdict["verified"] and verdict["hit_rate"] >= args.min_hit_rate
+    if args.json:
+        print(json.dumps({**verdict, "min_hit_rate": args.min_hit_rate,
+                          "passed": passed}, indent=2, sort_keys=True))
+    else:
+        table = ResultTable("red-team verification replay",
+                            ["check", "status"])
+        table.add_row("search document bytes",
+                      "match" if verdict["search_match"] else "MISMATCH")
+        table.add_row("repair report run-hash",
+                      "match" if verdict["repair_match"] else "MISMATCH")
+        table.add_row("replayed run_hash", verdict["run_hash"][:16] + "…")
+        table.add_row("cache hit rate",
+                      f"{verdict['hit_rate']:.1%} "
+                      f"({verdict['cache']['hits']}/"
+                      f"{verdict['cache']['hits'] + verdict['cache']['misses']}"
+                      f", floor {args.min_hit_rate:.0%})")
+        table.print()
+    if not passed:
+        logger.warning("red-team verification failed: %s", verdict)
+        return 1
+    return 0
+
+
 # ----------------------------------------------------------------------
 # argument parsing
 # ----------------------------------------------------------------------
@@ -1222,6 +1332,73 @@ def build_parser() -> argparse.ArgumentParser:
     tdiff.add_argument("--tolerance", type=float, default=0.0,
                        help="allowed per-milestone drift in seconds")
     tdiff.set_defaults(func=run_trace_diff)
+
+    redteam = subparsers.add_parser(
+        "redteam", help="adversarial search for defense collapse plus "
+                        "verified minimal policy repair")
+    redteam_sub = redteam.add_subparsers(dest="redteam_command", required=True)
+
+    rsearch = redteam_sub.add_parser(
+        "search",
+        help="successive-refinement search over the attack ladders for "
+             "collapse cells; writes a redteam_search/v1 document")
+    rsearch.add_argument("--spec", required=True,
+                         help="a redteam_spec/v1 file (see docs/redteam.md)")
+    rsearch.add_argument("--quick", action="store_true",
+                         help="run the file's committed quick variant")
+    rsearch.add_argument("--output", default="redteam_search.json",
+                         help="search document to write (a .provenance.json "
+                              "sidecar rides along)")
+    rsearch.add_argument("--cache", default="", metavar="DIR",
+                         help="cell cache directory shared with repair and "
+                              "verify (default: no cache)")
+    rsearch.add_argument("--workers", type=int, default=1,
+                         help="process-pool workers (1 = serial; output is "
+                              "byte-identical either way)")
+    rsearch.set_defaults(func=run_redteam_search)
+
+    rrepair = redteam_sub.add_parser(
+        "repair",
+        help="verify the cheapest committed config delta restoring each "
+             "collapse cell; writes a run-hash-stamped repair_report/v1")
+    rrepair.add_argument("--spec", required=True,
+                         help="the redteam_spec/v1 file the search ran from")
+    rrepair.add_argument("--search", required=True,
+                         help="the search document from `repro redteam search`")
+    rrepair.add_argument("--quick", action="store_true",
+                         help="resolve the spec's quick variant (must match "
+                              "how the search ran)")
+    rrepair.add_argument("--output", default="repair_report.json",
+                         help="repair report to write")
+    rrepair.add_argument("--cache", default="", metavar="DIR",
+                         help="cell cache directory shared with search and "
+                              "verify")
+    rrepair.add_argument("--workers", type=int, default=1,
+                         help="process-pool workers (1 = serial)")
+    rrepair.set_defaults(func=run_redteam_repair)
+
+    rverify = redteam_sub.add_parser(
+        "verify",
+        help="replay search + repair and compare bytes / run-hash against "
+             "the recorded documents (exit 1 on drift)")
+    rverify.add_argument("--spec", required=True,
+                         help="the redteam_spec/v1 file the documents ran from")
+    rverify.add_argument("--search", required=True,
+                         help="the recorded search document")
+    rverify.add_argument("--report", required=True,
+                         help="the recorded repair report")
+    rverify.add_argument("--quick", action="store_true",
+                         help="resolve the spec's quick variant (must match "
+                              "how the documents were produced)")
+    rverify.add_argument("--cache", default="", metavar="DIR",
+                         help="cell cache directory; a warm cache should "
+                              "serve the whole replay")
+    rverify.add_argument("--workers", type=int, default=1,
+                         help="process-pool workers (1 = serial)")
+    rverify.add_argument("--min-hit-rate", type=float, default=0.0,
+                         help="fail unless at least this fraction of cells "
+                              "was served from the cache (CI uses 0.9)")
+    rverify.set_defaults(func=run_redteam_verify)
 
     profile = subparsers.add_parser(
         "profile", help="run one spec under cProfile and print the hotspots")

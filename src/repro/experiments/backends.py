@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Mapping, Optional
 
+from repro.attacks.malicious import CompromisedRouterBehaviour
 from repro.baselines.ingress_dpf import (
     collect_ingress_stats,
     enable_universal_ingress_filtering,
@@ -33,6 +34,7 @@ from repro.core.detection import ExplicitDetector
 from repro.core.events import EventType
 from repro.experiments.registry import DEFENSES
 from repro.net.flowlabel import FlowLabel
+from repro.router.nodes import BorderRouter
 from repro.sim.randomness import SeededRandom, stable_seed
 
 
@@ -75,10 +77,13 @@ class AITFBackend(DefenseBackend):
     non-deployed routers forward normally but neither stamp the
     route-record shim nor run an AITF agent, so recorded attack paths —
     and therefore escalation — only ever name deployed gateways, exactly
-    as the paper's partial-deployment analysis assumes), and
+    as the paper's partial-deployment analysis assumes),
     ``non_cooperating_attackers`` (flip every attack-workload host to
     non-cooperative without naming them, so floods keep pressing until
-    gateway filters actually block them).
+    gateway filters actually block them), and ``compromised_routers``
+    (border-router names that forge verification replies for flows they
+    route — the paper's Section III-B on-path caveat — made declarable so
+    red-team sweeps can place the compromise).
     """
 
     name = "aitf"
@@ -88,6 +93,7 @@ class AITFBackend(DefenseBackend):
         self.deployment: Optional[AITFDeployment] = None
         self.detector: Optional[ExplicitDetector] = None
         self.deployed_gateways: Optional[frozenset] = None
+        self.compromised: List[CompromisedRouterBehaviour] = []
 
     def _gateway_names(self, ctx: Any) -> Optional[frozenset]:
         """Resolve the ``deployment`` locus to a set of router names."""
@@ -148,6 +154,17 @@ class AITFBackend(DefenseBackend):
             gateway_agent.shadow_cache.capacity = 1
             gateway_agent.shadow_cache.clear()
             gateway_agent.config = ctx.config.with_overrides(shadow_timeout=1e-3)
+        self.compromised = []
+        for router_name in self.params.get("compromised_routers", ()):
+            try:
+                node = ctx.handle.topology.node(router_name)
+            except KeyError:
+                node = None
+            if not isinstance(node, BorderRouter):
+                raise ValueError(
+                    f"compromised_routers names {router_name!r}, which is "
+                    "not a border router of this topology")
+            self.compromised.append(CompromisedRouterBehaviour(node))
         victim_agent = self.deployment.host_agent(ctx.handle.victim.name)
         redetect_gap = self.params.get("redetect_gap")
         self.detector = ExplicitDetector(
@@ -181,6 +198,8 @@ class AITFBackend(DefenseBackend):
 
         control_events = (EventType.REQUEST_SENT, EventType.HANDSHAKE_STARTED,
                           EventType.HANDSHAKE_CONFIRMED, EventType.HANDSHAKE_FAILED)
+        gateway_agent = self.deployment.gateway_agents.get(victim_gw)
+        victim_gw_table = ctx.handle.victim_gateway.filter_table
         return {
             "backend": self.name,
             "time_to_first_block": time_to_first_block,
@@ -196,6 +215,19 @@ class AITFBackend(DefenseBackend):
             ]),
             "deployment_locus": str(self.params.get("deployment", "all")),
             "deployed_gateways": (len(self.deployment.gateway_agents)),
+            "victim_gateway_filter_peak": victim_gw_table.peak_occupancy,
+            "victim_gateway_filter_failures": victim_gw_table.install_failures,
+            "victim_gateway_shadow_peak": (
+                gateway_agent.shadow_cache.peak_occupancy
+                if gateway_agent is not None else 0),
+            "victim_gateway_shadow_failures": (
+                gateway_agent.shadow_cache.insert_failures
+                if gateway_agent is not None else 0),
+            "requests_rejected": log.count(EventType.REQUEST_REJECTED),
+            "verification_replies_forged": sum(
+                behaviour.replies_forged for behaviour in self.compromised),
+            "compromised_routers": sorted(
+                behaviour.router.name for behaviour in self.compromised),
         }
 
 

@@ -13,8 +13,10 @@ from typing import Any, Dict, List, Mapping
 
 from repro.attacks.flood import FloodAttack, SpoofedFloodAttack
 from repro.attacks.legitimate import LegitimateTraffic, PoissonTraffic
+from repro.attacks.malicious import RequestForger
 from repro.attacks.onoff import OnOffAttack
 from repro.attacks.zombies import ZombieArmy
+from repro.core.messages import RequestRole
 from repro.experiments.registry import WORKLOADS
 from repro.net.flowlabel import FlowLabel
 from repro.router.nodes import Host
@@ -352,6 +354,124 @@ def _build_filter_requests(ctx: Any, index: int,
                                 start_time=start, params=params)
 
 
+class ForgedRequestStream:
+    """Forged filtering requests pressuring the victim's gateway (Section III-B).
+
+    A compromised client of the victim's *own* gateway asks it to block a
+    fresh fabricated flow at a fixed rate.  Every request names the real
+    victim and carries the forger's genuine source address, so it passes
+    the gateway's victim-side sanity check and occupies a wire-speed slot
+    for Ttmp plus a shadow entry for T — exactly the filter-table
+    exhaustion pressure the paper's security analysis worries about.  The
+    fabricated labels never survive the 3-way handshake at any remote
+    gateway (the claimed sources never asked for anything), so the damage
+    is confined to the victim gateway's own tables.
+
+    With ``spoofed`` the request packets instead carry the first
+    attacker's address as their source, which the gateway's ownership /
+    ingress checks reject — the control case.
+    """
+
+    def __init__(self, ctx: Any, forger_host: Host, *, rate: float,
+                 duration: Any = None, start_time: float = 0.0,
+                 spoofed: bool = False) -> None:
+        if rate <= 0:
+            raise ValueError("forged-requests rate must be positive")
+        self.ctx = ctx
+        self.rate = rate
+        self.duration = duration
+        self.start_time = start_time
+        self.spoofed = spoofed
+        handle = ctx.handle
+        self._victim = handle.victim
+        self._gateway = handle.victim_gateway
+        #: Fabricated labels claim these hosts as their undesired sources;
+        #: the rotating destination port makes every label unique so each
+        #: occupies its own filter slot.
+        self._pool = [*handle.attackers] or [*handle.legit_senders]
+        if not self._pool:
+            raise ValueError(
+                f"topology {handle.kind!r} has no non-victim end hosts to "
+                "fabricate undesired flows from")
+        spoof_source = None
+        if spoofed:
+            if not handle.attackers:
+                raise ValueError("spoofed forged-requests need an attacker "
+                                 "host whose address can be borrowed")
+            spoof_source = handle.attackers[0].address
+        self.forger = RequestForger(forger_host, spoof_source=spoof_source)
+
+    @property
+    def offered_rate_bps(self) -> float:
+        # Control-plane load, not data traffic.
+        return 0.0
+
+    @property
+    def requests_sent(self) -> int:
+        return self.forger.requests_sent
+
+    def start(self) -> None:
+        """Schedule every forged request up front (deterministic order)."""
+        interval = 1.0 / self.rate
+        duration = (self.duration if self.duration is not None
+                    else self.ctx.spec.duration - self.start_time)
+        count = int(duration * self.rate)
+        sim = self.ctx.sim
+        for index in range(count):
+            sim.call_at(self.start_time + index * interval,
+                        self._send_one, name="forged-request")
+
+    def _send_one(self) -> None:
+        index = self.forger.requests_sent
+        source = self._pool[index % len(self._pool)]
+        label = FlowLabel.between(
+            source.address, self._victim.address,
+            protocol="udp", dst_port=1024 + index % 60000,
+        )
+        self.forger.forge_request(
+            self._gateway.address, label,
+            role=RequestRole.TO_VICTIM_GATEWAY,
+            victim=self._victim.address,
+        )
+
+
+class _ForgedRequestHandle(WorkloadHandle):
+    """Control-plane abuse: neither data attack nor legitimate traffic."""
+
+    role = "control"
+
+    def stats(self) -> Dict[str, Any]:
+        stats = super().stats()
+        stats["requests_sent"] = self.generator.requests_sent
+        stats["rate"] = self.generator.rate
+        stats["spoofed"] = self.generator.spoofed
+        return stats
+
+
+@WORKLOADS.register("forged-requests")
+def _build_forged_requests(ctx: Any, index: int,
+                           params: Mapping[str, Any]) -> WorkloadHandle:
+    """Forged filtering-request storm against the victim's gateway
+    (Section III-B).  Params: ``rate``, ``start``, ``duration`` (default:
+    the spec horizon), ``forger`` (index into the topology's
+    legitimate-sender candidates — the forger must be a client of the
+    victim's gateway for its requests to pass the victim-side check),
+    ``spoofed`` (carry a source the forger does not own; the gateway
+    rejects these)."""
+    forger_host = _pick_sender(ctx, params, key="forger")
+    rate = float(params.get("rate", 50.0))
+    start = float(params.get("start", 0.0))
+    duration = params.get("duration")
+    stream = ForgedRequestStream(
+        ctx, forger_host, rate=rate,
+        duration=float(duration) if duration is not None else None,
+        start_time=start,
+        spoofed=bool(params.get("spoofed", False)),
+    )
+    return _ForgedRequestHandle("forged-requests", stream,
+                                start_time=start, params=params)
+
+
 def _pick_attacker(ctx: Any, params: Mapping[str, Any]) -> Host:
     candidates = list(ctx.handle.attackers)
     if not candidates:
@@ -363,16 +483,17 @@ def _pick_attacker(ctx: Any, params: Mapping[str, Any]) -> Host:
     return candidates[index]
 
 
-def _pick_sender(ctx: Any, params: Mapping[str, Any]) -> Host:
+def _pick_sender(ctx: Any, params: Mapping[str, Any],
+                 key: str = "sender") -> Host:
     candidates = list(ctx.handle.legit_senders)
     if not candidates:
         raise ValueError(
             f"topology {ctx.handle.kind!r} has no legitimate-sender hosts "
             "(e.g. build figure1 with extra_good_hosts >= 1)"
         )
-    index = int(params.get("sender", 0))
+    index = int(params.get(key, 0))
     if not 0 <= index < len(candidates):
-        raise ValueError(f"sender index {index} out of range "
+        raise ValueError(f"{key} index {index} out of range "
                          f"(topology offers {len(candidates)})")
     return candidates[index]
 

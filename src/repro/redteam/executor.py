@@ -1,0 +1,75 @@
+"""Cache-fronted cell execution for the red-team loop.
+
+The search and repair engines both boil down to "run this list of
+:class:`~repro.experiments.sweep.SweepCell` objects and give me the result
+dicts, in order".  :class:`CellExecutor` is that one primitive: a
+:class:`~repro.experiments.sweep.SweepRunner` (serial or process pool —
+results are byte-identical either way) fronted by an optional
+content-addressed :class:`~repro.cluster.cache.CellCache`.
+
+The cache is what makes ``repro redteam verify`` cheap and honest at once:
+a replay resolves every cell through the same spec-hash keys, so an
+unchanged checkout serves the whole search and repair from cache while any
+code or spec change misses and recomputes.  Hit/miss counts are
+execution-dependent, so they live in provenance sidecars, never in the
+canonical documents.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.cluster.cache import CellCache
+from repro.experiments.sweep import SweepCell, SweepRunner
+
+
+class CellExecutor:
+    """Run sweep cells through an optional cell cache.
+
+    ``workers`` has the :class:`SweepRunner` semantics (1 = serial).
+    ``cache`` is a :class:`CellCache` or ``None``; hits skip the simulator
+    entirely and misses are published back so the next run hits.
+    """
+
+    def __init__(self, *, cache: Optional[CellCache] = None,
+                 workers: int = 1) -> None:
+        self.cache = cache
+        self.runner = SweepRunner(workers=workers)
+        self.hits = 0
+        self.misses = 0
+        self.wall_seconds = 0.0
+
+    @property
+    def workers(self) -> int:
+        return self.runner.workers
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Cumulative hit/miss counts (provenance material)."""
+        return {"hits": self.hits, "misses": self.misses}
+
+    def run_cells(self, cells: Sequence[SweepCell]) -> List[Dict[str, Any]]:
+        """Result dicts for ``cells``, in order, cache-first."""
+        results: List[Optional[Dict[str, Any]]] = [None] * len(cells)
+        pending: List[int] = []
+        for position, cell in enumerate(cells):
+            cached = (self.cache.get_result(cell.spec_hash)
+                      if self.cache is not None else None)
+            if cached is not None:
+                results[position] = cached
+                self.hits += 1
+            else:
+                pending.append(position)
+                self.misses += 1
+        if pending:
+            sweep = self.runner.run_cells([cells[i] for i in pending])
+            self.wall_seconds += float(
+                sweep.provenance.get("wall_seconds", 0.0))
+            for position, document in zip(pending, sweep.cells):
+                result = document["result"]
+                results[position] = result
+                if self.cache is not None:
+                    self.cache.put(cells[position].spec_hash, result,
+                                   worker="redteam")
+        if any(result is None for result in results):
+            raise RuntimeError("cell execution left unfilled results")
+        return results  # type: ignore[return-value]

@@ -1,0 +1,235 @@
+"""Red-team spec documents: the search space and repair menu as one file.
+
+A ``redteam_spec/v1`` file commits everything one adversarial search needs:
+
+``base_spec``
+    The full :class:`~repro.experiments.spec.ExperimentSpec` the adversary
+    perturbs — topology, workloads (including the ``forged-requests``
+    storm), defense backend and AITF configuration.
+
+``axes``
+    The attack-parameter space, as dotted spec paths mapped to *ladders* —
+    lists of values ordered by increasing attack pressure (forged-request
+    rate, flood rate, on-off cadence, zombie count, ...).  The search
+    walks ladder *indices*, so refinement means "the adjacent rung", not
+    an arbitrary bisection of a continuous range.
+
+``repairs``
+    Candidate configuration deltas, each with a ``cost``.  The repair
+    engine tries them cheapest-first per collapse cell and verifies the
+    first one that restores the metric — so the menu's cost ordering *is*
+    the minimality criterion, and it is committed, reviewable input rather
+    than something mined from a run.
+
+``metric`` / ``threshold``
+    What "collapse" means: a cell whose ``metric`` (a dotted path into the
+    result document, default ``legit_delivery_ratio``) falls below
+    ``threshold``.
+
+``initial_step`` / ``rounds`` / ``max_cells``
+    Search budget: the coarse-probe stride over each ladder, how many
+    refinement rounds to run, and a hard cap on evaluated cells.
+
+``quick``
+    A scaled-down variant (base-spec overrides and/or replacement axes,
+    rounds, max_cells) so CI can run the whole loop in minutes — the same
+    contract as ``sweep_request/v1`` quick sections.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.experiments.spec import ExperimentSpec, _reject_unknown_keys
+
+#: Version tag of red-team spec documents; bump on incompatible change.
+REDTEAM_SPEC_SCHEMA = "redteam_spec/v1"
+
+
+@dataclass(frozen=True)
+class RepairCandidate:
+    """One candidate configuration delta with its deployment cost."""
+
+    name: str
+    cost: float
+    overrides: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "cost": self.cost,
+                "overrides": dict(self.overrides)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RepairCandidate":
+        _reject_unknown_keys(data, {"name", "cost", "overrides"},
+                             "repair candidate")
+        if not data.get("name"):
+            raise ValueError("repair candidate needs a 'name'")
+        overrides = data.get("overrides")
+        if not isinstance(overrides, Mapping) or not overrides:
+            raise ValueError(
+                f"repair candidate {data['name']!r} needs non-empty 'overrides'")
+        return cls(name=str(data["name"]), cost=float(data.get("cost", 0.0)),
+                   overrides=dict(overrides))
+
+
+@dataclass
+class RedTeamSpec:
+    """A parsed red-team spec, ready for the search and repair engines."""
+
+    base: ExperimentSpec
+    axes: Dict[str, List[Any]]
+    repairs: List[RepairCandidate] = field(default_factory=list)
+    metric: str = "legit_delivery_ratio"
+    threshold: float = 0.8
+    initial_step: int = 2
+    rounds: int = 2
+    max_cells: int = 64
+    name: str = ""
+    quick_overrides: Dict[str, Any] = field(default_factory=dict)
+    quick_axes: Optional[Dict[str, List[Any]]] = None
+    quick_rounds: Optional[int] = None
+    quick_max_cells: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.axes:
+            raise ValueError("red-team spec needs at least one attack axis")
+        for path, ladder in self.axes.items():
+            if not isinstance(ladder, list) or not ladder:
+                raise ValueError(
+                    f"red-team axis {path!r} must be a non-empty ladder")
+        if self.initial_step < 1:
+            raise ValueError("initial_step must be >= 1")
+        if self.rounds < 0:
+            raise ValueError("rounds must be >= 0")
+        if self.max_cells < 1:
+            raise ValueError("max_cells must be >= 1")
+
+    @property
+    def has_quick(self) -> bool:
+        """Whether the file commits a scaled-down quick variant."""
+        return (bool(self.quick_overrides) or self.quick_axes is not None
+                or self.quick_rounds is not None
+                or self.quick_max_cells is not None)
+
+    def resolve(self, *, quick: bool = False) -> "RedTeamSpec":
+        """The spec to actually run: itself, or its quick variant."""
+        if not quick:
+            return self
+        base = (self.base.with_overrides(self.quick_overrides)
+                if self.quick_overrides else self.base)
+        return RedTeamSpec(
+            base=base,
+            axes={k: list(v) for k, v in
+                  (self.quick_axes if self.quick_axes is not None
+                   else self.axes).items()},
+            repairs=list(self.repairs),
+            metric=self.metric,
+            threshold=self.threshold,
+            initial_step=self.initial_step,
+            rounds=(self.quick_rounds if self.quick_rounds is not None
+                    else self.rounds),
+            max_cells=(self.quick_max_cells if self.quick_max_cells is not None
+                       else self.max_cells),
+            name=self.name,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The canonical dict form (round-trips through :meth:`from_dict`)."""
+        data: Dict[str, Any] = {
+            "schema": REDTEAM_SPEC_SCHEMA,
+            "name": self.name,
+            "base_spec": self.base.to_dict(),
+            "axes": {k: list(v) for k, v in self.axes.items()},
+            "repairs": [candidate.to_dict() for candidate in self.repairs],
+            "metric": self.metric,
+            "threshold": self.threshold,
+            "initial_step": self.initial_step,
+            "rounds": self.rounds,
+            "max_cells": self.max_cells,
+        }
+        quick: Dict[str, Any] = {}
+        if self.quick_overrides:
+            quick["overrides"] = dict(self.quick_overrides)
+        if self.quick_axes is not None:
+            quick["axes"] = {k: list(v) for k, v in self.quick_axes.items()}
+        if self.quick_rounds is not None:
+            quick["rounds"] = self.quick_rounds
+        if self.quick_max_cells is not None:
+            quick["max_cells"] = self.quick_max_cells
+        if quick:
+            data["quick"] = quick
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], *,
+                  name: str = "") -> "RedTeamSpec":
+        """Parse a ``redteam_spec/v1`` dict (schema-checked)."""
+        schema = data.get("schema", REDTEAM_SPEC_SCHEMA)
+        if schema != REDTEAM_SPEC_SCHEMA:
+            raise ValueError(
+                f"unsupported red-team spec schema {schema!r} "
+                f"(this build reads {REDTEAM_SPEC_SCHEMA!r})")
+        known = {"schema", "name", "base_spec", "axes", "repairs", "metric",
+                 "threshold", "initial_step", "rounds", "max_cells", "quick"}
+        _reject_unknown_keys(data, known, "red-team spec")
+        if "base_spec" not in data or "axes" not in data:
+            raise ValueError("red-team spec needs 'base_spec' and 'axes'")
+        quick = data.get("quick") or {}
+        if quick:
+            _reject_unknown_keys(quick, {"overrides", "axes", "rounds",
+                                         "max_cells"},
+                                 "red-team spec 'quick'")
+        return cls(
+            base=ExperimentSpec.from_dict(data["base_spec"]),
+            axes=_parse_axes(data["axes"]),
+            repairs=[RepairCandidate.from_dict(entry)
+                     for entry in data.get("repairs", [])],
+            metric=str(data.get("metric", "legit_delivery_ratio")),
+            threshold=float(data.get("threshold", 0.8)),
+            initial_step=int(data.get("initial_step", 2)),
+            rounds=int(data.get("rounds", 2)),
+            max_cells=int(data.get("max_cells", 64)),
+            name=str(data.get("name", "") or name),
+            quick_overrides=dict(quick.get("overrides") or {}),
+            quick_axes=(_parse_axes(quick["axes"])
+                        if quick.get("axes") is not None else None),
+            quick_rounds=(int(quick["rounds"])
+                          if quick.get("rounds") is not None else None),
+            quick_max_cells=(int(quick["max_cells"])
+                             if quick.get("max_cells") is not None else None),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "RedTeamSpec":
+        """Read a red-team spec file (the file stem is the default name)."""
+        with open(path) as handle:
+            data = json.load(handle)
+        stem = os.path.splitext(os.path.basename(path))[0]
+        return cls.from_dict(data, name=stem)
+
+
+def _parse_axes(raw: Mapping[str, Any]) -> Dict[str, List[Any]]:
+    if not isinstance(raw, Mapping) or not raw:
+        raise ValueError("red-team 'axes' must be a non-empty object")
+    axes: Dict[str, List[Any]] = {}
+    for path, ladder in raw.items():
+        if not isinstance(ladder, list) or not ladder:
+            raise ValueError(f"red-team axis {path!r} must be a non-empty list")
+        axes[str(path)] = list(ladder)
+    return axes
+
+
+def load_redteam_spec(path: str, *, quick: bool = False) -> RedTeamSpec:
+    """Read, parse and resolve one red-team spec file, warning (like the
+    sweep-request loader) when a quick run is asked of a file that committed
+    no quick variant."""
+    spec = RedTeamSpec.load(path)
+    if quick and not spec.has_quick:
+        from repro.obs.logsetup import get_logger
+
+        get_logger("redteam.spec").warning(
+            "%s has no 'quick' section; running its full search", path)
+    return spec.resolve(quick=quick)

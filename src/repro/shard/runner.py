@@ -28,11 +28,11 @@ window ``k`` arrives strictly after ``E_k``, so no shard ever receives a
 message from its own past — the merge is deterministic and, on uncongested
 cells, bit-identical to the unsharded train engine (pinned by tests).
 
-Known limits (see ``docs/sharding.md``): fault injection is rejected
-(link state would have to be replicated across shards), and Pushback's
-rate-limit recursion is function-call based rather than message based, so
-*congested* pushback cells should run unsharded — the uncongested merge is
-still exact.
+Known limits (see ``docs/sharding.md``): fault injection falls back to
+serial execution with a warning (link up/down state would have to be
+replicated across shard processes), and Pushback's rate-limit recursion is
+function-call based rather than message based, so *congested* pushback
+cells should run unsharded — the uncongested merge is still exact.
 """
 
 from __future__ import annotations
@@ -49,6 +49,7 @@ from repro.experiments.runner import (
     ExperimentResult,
 )
 from repro.experiments.spec import ExperimentSpec
+from repro.obs.logsetup import get_logger
 from repro.shard.partition import Partition, partition_topology
 
 #: Workload-stat keys that describe configuration, not traffic; summing
@@ -67,12 +68,18 @@ def run_sharded(spec: ExperimentSpec,
     if shards < 2:
         raise ValueError("run_sharded needs engine.shards >= 2")
     execution = ExperimentExecution(spec)
-    if execution.fault_injector is not None:
-        raise ValueError(
-            "sharded execution does not support fault injection "
-            "(link up/down state cannot be split across shards); "
-            "run fault specs with engine.shards = 1")
     duration = until if until is not None else spec.duration
+    if execution.fault_injector is not None:
+        # Link up/down state cannot be split across shards (a downed cut
+        # link would have to flip atomically in two worker processes), so
+        # fault specs fall back to the serial engine.  The run is still
+        # correct and deterministic — it just ignores the shard request.
+        get_logger("shard.runner").warning(
+            "spec %r requests engine.shards=%d but injects faults; "
+            "sharded execution cannot replicate link up/down state across "
+            "shard processes, so this run falls back to serial execution "
+            "(see docs/sharding.md)", spec.name, shards)
+        return execution.run(until=duration)
     partition = partition_topology(execution.handle, shards)
     boundaries = _window_boundaries(partition.lookahead, duration)
     # Anything the defense logged while *building* (pre-fork) is inherited

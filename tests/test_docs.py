@@ -56,6 +56,13 @@ class TestCliDocs:
             assert f"trace {name}" in cli_md, (
                 f"'repro trace {name}' is undocumented in docs/cli.md")
 
+    def test_every_redteam_subcommand_documented(self, cli_md):
+        parser = build_parser()
+        redteam = _subparser_choices(parser)["redteam"]
+        for name in _subparser_choices(redteam):
+            assert f"redteam {name}" in cli_md, (
+                f"'repro redteam {name}' is undocumented in docs/cli.md")
+
     def test_no_phantom_subcommand_sections(self, cli_md):
         # Sections for subcommands that were removed from the parser are
         # as misleading as missing ones.
@@ -100,11 +107,17 @@ class TestSchemaDocs:
         from repro.experiments.sweep import PROVENANCE_SCHEMA, SWEEP_SCHEMA
         from repro.obs.trace import TRACE_SCHEMA
         from repro.perf.bench import BENCH_SCHEMA, SWEEP_BENCH_SCHEMA
+        from repro.redteam import (
+            REDTEAM_SPEC_SCHEMA,
+            REPAIR_SCHEMA,
+            SEARCH_SCHEMA,
+        )
 
         for schema in (SPEC_SCHEMA, RESULT_SCHEMA, SWEEP_SCHEMA,
                        PROVENANCE_SCHEMA, SWEEP_REQUEST_SCHEMA, TASK_SCHEMA,
                        MANIFEST_SCHEMA, CACHE_SCHEMA, TRACE_SCHEMA,
-                       BENCH_SCHEMA, SWEEP_BENCH_SCHEMA):
+                       BENCH_SCHEMA, SWEEP_BENCH_SCHEMA,
+                       REDTEAM_SPEC_SCHEMA, SEARCH_SCHEMA, REPAIR_SCHEMA):
             assert f"`{schema}`" in architecture_md, (
                 f"schema tag {schema!r} missing from docs/architecture.md")
 
